@@ -1,0 +1,63 @@
+// exp_common.hpp — shared plumbing for the experiment binaries (exp_*).
+//
+// Every experiment prints: a header naming the experiment and its paper
+// anchor, one or more TextTables with the measured rows, and a PASS/FAIL
+// verdict where the experiment validates a property. Binaries run with no
+// arguments using defaults sized to finish in seconds; sweep parameters are
+// adjustable via --flags (see each binary's `kKnownFlags`).
+#ifndef SNAPSTAB_BENCH_EXP_COMMON_HPP
+#define SNAPSTAB_BENCH_EXP_COMMON_HPP
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/specs.hpp"
+#include "core/stack.hpp"
+#include "sim/fuzz.hpp"
+#include "sim/simulator.hpp"
+
+namespace snapstab::bench {
+
+inline void banner(const char* experiment, const char* anchor,
+                   const char* what) {
+  std::printf("\n=== %s — %s ===\n%s\n\n", experiment, anchor, what);
+}
+
+inline void verdict(bool ok, const char* what) {
+  std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", what);
+}
+
+// Builds a PIF-only world of n processes over capacity-c channels.
+inline std::unique_ptr<sim::Simulator> pif_world(int n, int capacity,
+                                                 std::uint64_t seed) {
+  auto world = std::make_unique<sim::Simulator>(
+      n, static_cast<std::size_t>(capacity), seed);
+  for (int i = 0; i < n; ++i)
+    world->add_process(std::make_unique<core::PifProcess>(n - 1, capacity));
+  return world;
+}
+
+// Builds an ME world with ids 1..n (process 0 is the leader).
+inline std::unique_ptr<sim::Simulator> me_world(
+    int n, std::uint64_t seed, core::StackOptions options = {}) {
+  auto world = std::make_unique<sim::Simulator>(n, 1, seed);
+  for (int i = 0; i < n; ++i)
+    world->add_process(
+        std::make_unique<core::MeStackProcess>(i + 1, n - 1, options));
+  return world;
+}
+
+// Round count when the world runs under a RoundRobinScheduler.
+inline std::uint64_t rounds_of(sim::Simulator& world) {
+  auto* rr = dynamic_cast<sim::RoundRobinScheduler*>(world.scheduler());
+  return rr != nullptr ? rr->rounds() : 0;
+}
+
+}  // namespace snapstab::bench
+
+#endif  // SNAPSTAB_BENCH_EXP_COMMON_HPP

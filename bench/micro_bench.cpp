@@ -1,0 +1,120 @@
+// micro_bench — google-benchmark microbenchmarks for the hot paths:
+// simulator stepping, codec round trips, full PIF computations and ME
+// grants as a function of n. These are throughput numbers for the
+// *implementation* (the experiment tables live in the exp_* binaries).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/stack.hpp"
+#include "msg/codec.hpp"
+#include "sim/fuzz.hpp"
+#include "sim/simulator.hpp"
+
+namespace snapstab {
+namespace {
+
+void BM_CodecEncode(benchmark::State& state) {
+  const Message m = Message::pif(Value::text("How old are you?"),
+                                 Value::integer(42), 3, 2);
+  for (auto _ : state) {
+    auto bytes = encode(m);
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_CodecEncode);
+
+void BM_CodecDecode(benchmark::State& state) {
+  const auto bytes = encode(Message::pif(Value::text("How old are you?"),
+                                         Value::integer(42), 3, 2));
+  for (auto _ : state) {
+    auto m = decode(bytes);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_CodecDecode);
+
+void BM_SimulatorStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Simulator world(n, 1, 1);
+  for (int i = 0; i < n; ++i)
+    world.add_process(std::make_unique<core::PifProcess>(n - 1, 1));
+  world.set_scheduler(std::make_unique<sim::RandomScheduler>(2));
+  core::request_pif(world, 0, Value::integer(7));
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    world.run(1);
+    ++steps;
+    // Keep the system busy: re-request once the computation finishes.
+    if (world.process_as<core::PifProcess>(0).pif().done())
+      core::request_pif(world, 0, Value::integer(7));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_SimulatorStep)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_PifComputation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::Simulator world(n, 1, seed);
+    for (int i = 0; i < n; ++i)
+      world.add_process(std::make_unique<core::PifProcess>(n - 1, 1));
+    world.set_scheduler(std::make_unique<sim::RandomScheduler>(seed++));
+    core::request_pif(world, 0, Value::integer(1));
+    world.run(5'000'000, [](sim::Simulator& s) {
+      return s.process_as<core::PifProcess>(0).pif().done();
+    });
+  }
+}
+BENCHMARK(BM_PifComputation)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_PifComputationCorrupted(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::Simulator world(n, 1, seed);
+    for (int i = 0; i < n; ++i)
+      world.add_process(std::make_unique<core::PifProcess>(n - 1, 1));
+    Rng rng(seed * 3);
+    sim::fuzz(world, rng);
+    world.set_scheduler(std::make_unique<sim::RandomScheduler>(seed++));
+    core::request_pif(world, 0, Value::integer(1));
+    world.run(5'000'000, [](sim::Simulator& s) {
+      return s.process_as<core::PifProcess>(0).pif().done();
+    });
+  }
+}
+BENCHMARK(BM_PifComputationCorrupted)->Arg(2)->Arg(8);
+
+void BM_MeGrant(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Simulator world(n, 1, 5);
+  for (int i = 0; i < n; ++i)
+    world.add_process(std::make_unique<core::MeStackProcess>(i + 1, n - 1));
+  world.set_scheduler(std::make_unique<sim::RandomScheduler>(6));
+  int target = 0;
+  for (auto _ : state) {
+    core::request_cs(world, target);
+    world.run(50'000'000, [target](sim::Simulator& s) {
+      return s.process_as<core::MeStackProcess>(target).me().request_state() ==
+             core::RequestState::Done;
+    });
+    target = (target + 1) % n;
+  }
+}
+BENCHMARK(BM_MeGrant)->Arg(2)->Arg(4);
+
+void BM_FuzzWorld(benchmark::State& state) {
+  sim::Simulator world(8, 1, 1);
+  for (int i = 0; i < 8; ++i)
+    world.add_process(std::make_unique<core::MeStackProcess>(i + 1, 7));
+  Rng rng(9);
+  for (auto _ : state) sim::fuzz(world, rng);
+}
+BENCHMARK(BM_FuzzWorld);
+
+}  // namespace
+}  // namespace snapstab
+
+BENCHMARK_MAIN();

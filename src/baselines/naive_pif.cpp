@@ -1,0 +1,62 @@
+#include "baselines/naive_pif.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace snapstab::baselines {
+
+NaivePifProcess::NaivePifProcess(int degree) : degree_(degree) {
+  SNAPSTAB_CHECK(degree_ >= 1);
+  acked_.assign(static_cast<std::size_t>(degree_), false);
+}
+
+void NaivePifProcess::request(const Value& b) {
+  b_mes_ = b;
+  request_ = core::RequestState::Wait;
+}
+
+void NaivePifProcess::on_tick(sim::Context& ctx) {
+  if (request_ != core::RequestState::Wait) return;
+  // Start: one broadcast message per neighbor — and nothing more, ever.
+  request_ = core::RequestState::In;
+  std::fill(acked_.begin(), acked_.end(), false);
+  ctx.observe(sim::Layer::Baseline, sim::ObsKind::Start, -1, b_mes_);
+  for (int ch = 0; ch < degree_; ++ch)
+    ctx.send(ch, Message::naive_brd(b_mes_));
+}
+
+void NaivePifProcess::on_message(sim::Context& ctx, int ch,
+                                 const Message& m) {
+  switch (m.kind) {
+    case MsgKind::NaiveBrd: {
+      ctx.observe(sim::Layer::Baseline, sim::ObsKind::RecvBrd, ch, m.b);
+      ctx.send(ch, Message::naive_fck(Value::token(Token::Ok)));
+      return;
+    }
+    case MsgKind::NaiveFck: {
+      if (request_ != core::RequestState::In) return;
+      const auto chi = static_cast<std::size_t>(ch);
+      if (acked_[chi]) return;
+      acked_[chi] = true;
+      ctx.observe(sim::Layer::Baseline, sim::ObsKind::RecvFck, ch, m.f);
+      if (std::all_of(acked_.begin(), acked_.end(),
+                      [](bool a) { return a; })) {
+        request_ = core::RequestState::Done;
+        ctx.observe(sim::Layer::Baseline, sim::ObsKind::Decide, -1, b_mes_);
+      }
+      return;
+    }
+    default:
+      return;  // foreign message kinds are ignored
+  }
+}
+
+void NaivePifProcess::randomize(Rng& rng) {
+  request_ = core::random_request_state(rng);
+  b_mes_ = Value::random(rng);
+  for (int ch = 0; ch < degree_; ++ch)
+    acked_[static_cast<std::size_t>(ch)] = rng.chance(0.5);
+}
+
+}  // namespace snapstab::baselines

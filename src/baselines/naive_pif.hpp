@@ -1,0 +1,55 @@
+// naive_pif.hpp — the paper's "naive attempt" at a PIF (Section 4.1).
+//
+// The broadcast is sent once, the feedback is sent once, and the initiator
+// decides as soon as it has collected one feedback per neighbor. The paper
+// explains precisely why this is not snap-stabilizing, and the negative
+// experiments reproduce both failure modes:
+//
+//  (1) channels are unreliable — if a broadcast or a feedback is lost, the
+//      computation never terminates (no retransmission);
+//  (2) the initial configuration is arbitrary — a stale feedback sitting in
+//      a channel is indistinguishable from a genuine one, so the initiator
+//      may decide without its broadcast having been received ("ghost
+//      decision"), violating the Correctness and Decision properties.
+//
+// Events are emitted under Layer::Baseline, so the very same
+// check_pif_spec() that certifies Protocol PIF convicts this one.
+#ifndef SNAPSTAB_BASELINES_NAIVE_PIF_HPP
+#define SNAPSTAB_BASELINES_NAIVE_PIF_HPP
+
+#include <vector>
+
+#include "core/request.hpp"
+#include "sim/process.hpp"
+
+namespace snapstab::baselines {
+
+class NaivePifProcess final : public sim::Process {
+ public:
+  explicit NaivePifProcess(int degree);
+
+  // External request: broadcast `b` (Request := Wait).
+  void request(const Value& b);
+
+  core::RequestState request_state() const noexcept { return request_; }
+  bool done() const noexcept {
+    return request_ == core::RequestState::Done;
+  }
+
+  void on_tick(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, int ch, const Message& m) override;
+  bool tick_enabled() const override {
+    return request_ == core::RequestState::Wait;
+  }
+  void randomize(Rng& rng) override;
+
+ private:
+  int degree_;
+  core::RequestState request_ = core::RequestState::Done;
+  Value b_mes_;
+  std::vector<bool> acked_;
+};
+
+}  // namespace snapstab::baselines
+
+#endif  // SNAPSTAB_BASELINES_NAIVE_PIF_HPP

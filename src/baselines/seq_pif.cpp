@@ -1,0 +1,90 @@
+#include "baselines/seq_pif.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace snapstab::baselines {
+
+SeqPifProcess::SeqPifProcess(int degree, std::int32_t k)
+    : degree_(degree), k_(k) {
+  SNAPSTAB_CHECK(degree_ >= 1);
+  SNAPSTAB_CHECK_MSG(k_ >= 2, "sequence space needs at least two values");
+  acked_.assign(static_cast<std::size_t>(degree_), true);
+  last_seen_.assign(static_cast<std::size_t>(degree_), -1);
+  f_mes_.assign(static_cast<std::size_t>(degree_), Value::token(Token::Ok));
+}
+
+void SeqPifProcess::request(const Value& b) {
+  b_mes_ = b;
+  request_ = core::RequestState::Wait;
+}
+
+void SeqPifProcess::on_tick(sim::Context& ctx) {
+  // Start: stamp the computation with the next number and reset the acks.
+  if (request_ == core::RequestState::Wait) {
+    request_ = core::RequestState::In;
+    seq_ = (seq_ + 1) % k_;
+    std::fill(acked_.begin(), acked_.end(), false);
+    ctx.observe(sim::Layer::Baseline, sim::ObsKind::Start, -1, b_mes_);
+  }
+  // Retransmit to every neighbor that has not echoed the current number.
+  if (request_ == core::RequestState::In) {
+    bool all = true;
+    for (int ch = 0; ch < degree_; ++ch) {
+      if (!acked_[static_cast<std::size_t>(ch)]) {
+        all = false;
+        ctx.send(ch, Message::seq_brd(b_mes_, seq_));
+      }
+    }
+    if (all) {
+      request_ = core::RequestState::Done;
+      ctx.observe(sim::Layer::Baseline, sim::ObsKind::Decide, -1, b_mes_);
+    }
+  }
+}
+
+void SeqPifProcess::on_message(sim::Context& ctx, int ch, const Message& m) {
+  switch (m.kind) {
+    case MsgKind::SeqBrd: {
+      const auto chi = static_cast<std::size_t>(ch);
+      if (m.state != last_seen_[chi]) {
+        // A fresh number announces a new computation… unless the initial
+        // value of last_seen_ accidentally equals the genuine first number,
+        // in which case the broadcast is wrongly treated as a duplicate —
+        // one of the two stale-state failure modes measured in E10.
+        last_seen_[chi] = m.state;
+        ctx.observe(sim::Layer::Baseline, sim::ObsKind::RecvBrd, ch, m.b);
+        f_mes_[chi] = Value::token(Token::Ok);
+      }
+      ctx.send(ch, Message::seq_fck(f_mes_[chi], m.state));
+      return;
+    }
+    case MsgKind::SeqFck: {
+      if (request_ != core::RequestState::In) return;
+      if (m.state != seq_) return;  // echo of an older computation
+      const auto chi = static_cast<std::size_t>(ch);
+      if (acked_[chi]) return;
+      acked_[chi] = true;
+      ctx.observe(sim::Layer::Baseline, sim::ObsKind::RecvFck, ch, m.f);
+      return;
+    }
+    default:
+      return;  // foreign message kinds are ignored
+  }
+}
+
+void SeqPifProcess::randomize(Rng& rng) {
+  request_ = core::random_request_state(rng);
+  b_mes_ = Value::random(rng);
+  seq_ = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(k_)));
+  for (int ch = 0; ch < degree_; ++ch) {
+    const auto chi = static_cast<std::size_t>(ch);
+    acked_[chi] = rng.chance(0.5);
+    last_seen_[chi] =
+        static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(k_)));
+    f_mes_[chi] = Value::random(rng);
+  }
+}
+
+}  // namespace snapstab::baselines

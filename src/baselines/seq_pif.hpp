@@ -1,0 +1,65 @@
+// seq_pif.hpp — a *self-stabilizing* (not snap-stabilizing) PIF built on
+// mod-K sequence numbers with retransmission.
+//
+// This is the classical counter-based recipe the paper contrasts itself
+// with (Afek & Brown's randomized sequence numbers, Varghese's counter
+// flushing): the initiator stamps each computation with the next sequence
+// number modulo K, retransmits until every neighbor echoed the current
+// number, and accepts only matching echoes.
+//
+// From an arbitrary initial configuration, a stale feedback whose number
+// happens to match the current computation (probability ≈ 1/K per stale
+// message) is accepted as genuine — an early computation can therefore
+// violate Correctness/Decision. Once a computation completes, the bounded
+// channels are flushed and subsequent computations are correct: the
+// protocol *converges* (self-stabilization) instead of being correct from
+// the first request (snap-stabilization). Experiment E10 measures exactly
+// this per-request-index violation curve against Protocol PIF's flat zero.
+#ifndef SNAPSTAB_BASELINES_SEQ_PIF_HPP
+#define SNAPSTAB_BASELINES_SEQ_PIF_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/request.hpp"
+#include "sim/process.hpp"
+
+namespace snapstab::baselines {
+
+class SeqPifProcess final : public sim::Process {
+ public:
+  // K >= 2 is the sequence-number space; larger K stabilizes faster (fewer
+  // collisions with stale state) at the cost of more bits per message.
+  SeqPifProcess(int degree, std::int32_t k);
+
+  void request(const Value& b);
+
+  core::RequestState request_state() const noexcept { return request_; }
+  bool done() const noexcept {
+    return request_ == core::RequestState::Done;
+  }
+  std::int32_t seq() const noexcept { return seq_; }
+
+  void on_tick(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, int ch, const Message& m) override;
+  bool tick_enabled() const override {
+    return request_ != core::RequestState::Done;
+  }
+  void randomize(Rng& rng) override;
+
+ private:
+  int degree_;
+  std::int32_t k_;
+  core::RequestState request_ = core::RequestState::Done;
+  Value b_mes_;
+  std::int32_t seq_ = 0;
+  std::vector<bool> acked_;
+  // Last broadcast sequence number seen per channel (duplicate-suppression
+  // for retransmitted broadcasts).
+  std::vector<std::int32_t> last_seen_;
+  std::vector<Value> f_mes_;
+};
+
+}  // namespace snapstab::baselines
+
+#endif  // SNAPSTAB_BASELINES_SEQ_PIF_HPP

@@ -1,0 +1,34 @@
+// check.hpp — lightweight precondition / invariant checking.
+//
+// Following the C++ Core Guidelines (I.6, E.12) we express contracts
+// explicitly. SNAPSTAB_CHECK is active in all build types: the library
+// simulates adversarial executions, so silent memory corruption from a
+// violated invariant would invalidate every experimental result.
+#ifndef SNAPSTAB_COMMON_CHECK_HPP
+#define SNAPSTAB_COMMON_CHECK_HPP
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace snapstab {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s (%s:%d)%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace snapstab
+
+#define SNAPSTAB_CHECK(expr)                                         \
+  do {                                                               \
+    if (!(expr)) ::snapstab::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define SNAPSTAB_CHECK_MSG(expr, msg)                                  \
+  do {                                                                 \
+    if (!(expr)) ::snapstab::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#endif  // SNAPSTAB_COMMON_CHECK_HPP

@@ -1,0 +1,70 @@
+#include "common/cli.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace snapstab {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 std::vector<std::string> known) {
+  auto fail = [&](const std::string& what) {
+    std::fprintf(stderr, "error: %s\nknown options:", what.c_str());
+    for (const auto& k : known) std::fprintf(stderr, " --%s", k.c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    } else {
+      value = "true";  // boolean flag form
+    }
+    if (std::find(known.begin(), known.end(), arg) == known.end())
+      fail("unknown option --" + arg);
+    options_[arg] = std::move(value);
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return options_.count(name) != 0;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : std::strtoll(it->second.c_str(),
+                                                        nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback
+                              : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace snapstab

@@ -1,0 +1,39 @@
+// cli.hpp — minimal command-line option parsing for examples and benches.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` forms.
+// Unknown options abort with a usage hint: experiment binaries must not
+// silently ignore a mistyped sweep parameter.
+#ifndef SNAPSTAB_COMMON_CLI_HPP
+#define SNAPSTAB_COMMON_CLI_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace snapstab {
+
+class CliArgs {
+ public:
+  // `known` lists accepted option names (without leading dashes); passing an
+  // option outside this list is a fatal usage error.
+  CliArgs(int argc, const char* const* argv, std::vector<std::string> known);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace snapstab
+
+#endif  // SNAPSTAB_COMMON_CLI_HPP

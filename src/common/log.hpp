@@ -1,0 +1,37 @@
+// log.hpp — leveled logging with printf-style formatting.
+//
+// The simulator can execute millions of steps; logging therefore defaults to
+// Warn and the level check happens before any formatting work.
+#ifndef SNAPSTAB_COMMON_LOG_HPP
+#define SNAPSTAB_COMMON_LOG_HPP
+
+#include <cstdarg>
+
+namespace snapstab {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+bool log_enabled(LogLevel level) noexcept;
+
+// printf-style; a trailing newline is appended automatically.
+void log_write(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace snapstab
+
+#define SNAPSTAB_LOG(level, ...)                                   \
+  do {                                                             \
+    if (::snapstab::log_enabled(level))                            \
+      ::snapstab::log_write(level, __VA_ARGS__);                   \
+  } while (false)
+
+#define SNAPSTAB_TRACE(...) SNAPSTAB_LOG(::snapstab::LogLevel::Trace, __VA_ARGS__)
+#define SNAPSTAB_DEBUG(...) SNAPSTAB_LOG(::snapstab::LogLevel::Debug, __VA_ARGS__)
+#define SNAPSTAB_INFO(...) SNAPSTAB_LOG(::snapstab::LogLevel::Info, __VA_ARGS__)
+#define SNAPSTAB_WARN(...) SNAPSTAB_LOG(::snapstab::LogLevel::Warn, __VA_ARGS__)
+#define SNAPSTAB_ERROR(...) SNAPSTAB_LOG(::snapstab::LogLevel::Error, __VA_ARGS__)
+
+#endif  // SNAPSTAB_COMMON_LOG_HPP

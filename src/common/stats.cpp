@@ -1,0 +1,131 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace snapstab {
+
+void Summary::add(double sample) {
+  samples_.push_back(sample);
+  sorted_valid_ = false;
+}
+
+void Summary::merge(const Summary& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_valid_ = false;
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Summary::min() const {
+  SNAPSTAB_CHECK(!samples_.empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Summary::max() const {
+  SNAPSTAB_CHECK(!samples_.empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Summary::mean() const {
+  SNAPSTAB_CHECK(!samples_.empty());
+  const double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  SNAPSTAB_CHECK(!samples_.empty());
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::percentile(double pct) const {
+  SNAPSTAB_CHECK(!samples_.empty());
+  SNAPSTAB_CHECK(pct >= 0.0 && pct <= 100.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  // Nearest-rank with linear interpolation between adjacent order statistics.
+  const double rank = pct / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double Summary::total() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+std::string Summary::brief() const {
+  if (samples_.empty()) return "(no samples)";
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%.1f ±%.1f [%.0f..%.0f]", mean(), stddev(),
+                min(), max());
+  return buf;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  SNAPSTAB_CHECK(hi > lo);
+  SNAPSTAB_CHECK(bins > 0);
+}
+
+void Histogram::add(double sample) {
+  ++total_;
+  if (sample < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (sample >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::size_t>((sample - lo_) / span *
+                                      static_cast<double>(counts_.size()));
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::string out;
+  const std::size_t peak =
+      std::max<std::size_t>(1, *std::max_element(counts_.begin(), counts_.end()));
+  const double step = (hi_ - lo_) / static_cast<double>(counts_.size());
+  char line[160];
+  if (underflow_ > 0) {
+    std::snprintf(line, sizeof line, "   < %8.1f : %zu\n", lo_, underflow_);
+    out += line;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double bin_lo = lo_ + step * static_cast<double>(i);
+    const std::size_t bar = counts_[i] * width / peak;
+    std::snprintf(line, sizeof line, "  [%8.1f) %6zu |", bin_lo, counts_[i]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof line, "  >= %8.1f : %zu\n", hi_, overflow_);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace snapstab

@@ -1,0 +1,62 @@
+// stats.hpp — descriptive statistics used by the benchmark harness.
+#ifndef SNAPSTAB_COMMON_STATS_HPP
+#define SNAPSTAB_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace snapstab {
+
+// Accumulates samples and reports summary statistics. Percentiles are exact
+// (nearest-rank over the sorted sample set), suitable for the sample counts
+// used in the experiments (10^2..10^6).
+class Summary {
+ public:
+  void add(double sample);
+  void merge(const Summary& other);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;  // sample standard deviation (n-1 denominator)
+  double percentile(double pct) const;  // pct in [0, 100]
+  double median() const { return percentile(50.0); }
+  double total() const;
+
+  // "mean ± stddev [min..max]" — used in experiment tables.
+  std::string brief() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Fixed-width histogram over [lo, hi) with `bins` buckets plus overflow /
+// underflow buckets; renders as ASCII rows for the experiment binaries.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double sample);
+  std::size_t total() const noexcept { return total_; }
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace snapstab
+
+#endif  // SNAPSTAB_COMMON_STATS_HPP

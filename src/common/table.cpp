@@ -1,0 +1,78 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace snapstab {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SNAPSTAB_CHECK(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  SNAPSTAB_CHECK_MSG(cells.size() <= headers_.size(),
+                     "row has more cells than headers");
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::cell(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string TextTable::cell(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string TextTable::cell(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    out += '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      out += ' ';
+      const std::string& text = c < row.size() ? row[c] : std::string();
+      out += text;
+      out.append(widths[c] - text.size(), ' ');
+      out += " |";
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  out += '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out.append(widths[c] + 2, '-');
+    out += '|';
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void TextTable::print() const {
+  const std::string text = render();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace snapstab

@@ -1,0 +1,40 @@
+// table.hpp — aligned text tables for the experiment binaries.
+//
+// Every exp_* benchmark prints its results through TextTable so the output
+// resembles the rows a paper table would report and diffing runs is easy.
+#ifndef SNAPSTAB_COMMON_TABLE_HPP
+#define SNAPSTAB_COMMON_TABLE_HPP
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace snapstab {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Row cells; missing cells render empty, excess cells are rejected.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats arithmetic cells with a reasonable precision.
+  static std::string cell(const std::string& s) { return s; }
+  static std::string cell(const char* s) { return s; }
+  static std::string cell(std::int64_t v);
+  static std::string cell(std::uint64_t v);
+  static std::string cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+  static std::string cell(double v, int precision = 2);
+
+  std::string render() const;
+  void print() const;  // render() to stdout
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace snapstab
+
+#endif  // SNAPSTAB_COMMON_TABLE_HPP

@@ -1,0 +1,22 @@
+#include "core/election.hpp"
+
+#include <algorithm>
+
+namespace snapstab::core {
+
+std::vector<std::int64_t> Election::members() const {
+  std::vector<std::int64_t> all;
+  all.reserve(static_cast<std::size_t>(idl_.state().id_tab.size()) + 1);
+  all.push_back(idl_.own_id());
+  for (const auto id : idl_.state().id_tab) all.push_back(id);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+int Election::rank() const {
+  const auto all = members();
+  const auto it = std::find(all.begin(), all.end(), idl_.own_id());
+  return static_cast<int>(it - all.begin());
+}
+
+}  // namespace snapstab::core

@@ -1,0 +1,46 @@
+// election.hpp — leader election and consistent ranking over Protocol IDL.
+//
+// One started IDs-Learning computation gives a process every identity in
+// the system (Specification 2). This service derives from it what
+// distributed applications usually want:
+//   - the leader (the minimum identity — the same convention Protocol ME
+//     uses for its arbiter), and
+//   - a consistent *ranking*: every process's position in the globally
+//     sorted identity sequence. Two processes that both completed a started
+//     election agree on the full member list, hence on every rank.
+#ifndef SNAPSTAB_CORE_ELECTION_HPP
+#define SNAPSTAB_CORE_ELECTION_HPP
+
+#include <vector>
+
+#include "core/idl.hpp"
+
+namespace snapstab::core {
+
+class Election {
+ public:
+  explicit Election(Idl& idl) : idl_(idl) {}
+
+  void request() { idl_.request(); }
+  RequestState request_state() const noexcept {
+    return idl_.request_state();
+  }
+  bool done() const noexcept { return idl_.done(); }
+
+  std::int64_t leader() const noexcept { return idl_.min_id(); }
+  bool is_leader() const noexcept { return idl_.min_id() == idl_.own_id(); }
+
+  // The full member list (own id + every learned neighbor id), sorted
+  // ascending. Valid after a started election completed.
+  std::vector<std::int64_t> members() const;
+
+  // This process's position in members(): 0 is the leader.
+  int rank() const;
+
+ private:
+  Idl& idl_;
+};
+
+}  // namespace snapstab::core
+
+#endif  // SNAPSTAB_CORE_ELECTION_HPP

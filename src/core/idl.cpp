@@ -1,0 +1,62 @@
+#include "core/idl.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace snapstab::core {
+
+Idl::Idl(std::int64_t own_id, int degree, Pif& pif)
+    : own_id_(own_id), degree_(degree), pif_(pif) {
+  SNAPSTAB_CHECK(degree_ >= 1);
+  st_.min_id = own_id_;
+  st_.id_tab.assign(static_cast<std::size_t>(degree_), 0);
+}
+
+void Idl::request() { st_.request = RequestState::Wait; }
+
+bool Idl::tick_enabled() const noexcept {
+  if (st_.request == RequestState::Wait) return true;  // A1
+  return st_.request == RequestState::In && pif_.done();  // A2
+}
+
+void Idl::tick(sim::Context& ctx) {
+  // A1 — start: reset the accumulator and launch the PIF of the IDL query.
+  if (st_.request == RequestState::Wait) {
+    st_.request = RequestState::In;
+    st_.min_id = own_id_;
+    pif_.request(Value::token(Token::IdlQuery));
+    ctx.observe(sim::Layer::Idl, sim::ObsKind::Start, -1,
+                Value::integer(own_id_));
+    return;  // the PIF starts on a later activation; A2 cannot hold yet
+  }
+  // A2 — termination: the underlying PIF decided.
+  if (st_.request == RequestState::In && pif_.done()) {
+    st_.request = RequestState::Done;
+    ctx.observe(sim::Layer::Idl, sim::ObsKind::Decide, -1,
+                Value::integer(st_.min_id));
+  }
+}
+
+Value Idl::on_brd(sim::Context&, int) {
+  // A3 — feed our identity back to the broadcaster.
+  return Value::integer(own_id_);
+}
+
+void Idl::on_fck(sim::Context&, int ch, const Value& f) {
+  // A4 — collect the neighbor's identity. The feedback of a *started*
+  // computation is a genuine identity (Theorem 2); a garbage payload can
+  // only reach here for a non-started computation, whose results carry no
+  // guarantee anyway — it is folded in without further ado.
+  const std::int64_t qid = f.as_int(/*fallback=*/0);
+  st_.id_tab[static_cast<std::size_t>(ch)] = qid;
+  st_.min_id = std::min(st_.min_id, qid);
+}
+
+void Idl::randomize(Rng& rng) {
+  st_.request = random_request_state(rng);
+  st_.min_id = rng.range(-1000, 1000);
+  for (auto& id : st_.id_tab) id = rng.range(-1000, 1000);
+}
+
+}  // namespace snapstab::core

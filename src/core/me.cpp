@@ -1,0 +1,169 @@
+#include "core/me.hpp"
+
+#include "common/check.hpp"
+
+namespace snapstab::core {
+
+Me::Me(std::int64_t own_id, int degree, Pif& pif, Idl& idl, MeOptions options)
+    : own_id_(own_id),
+      degree_(degree),
+      pif_(pif),
+      idl_(idl),
+      options_(std::move(options)) {
+  SNAPSTAB_CHECK(degree_ >= 1);
+  SNAPSTAB_CHECK(options_.cs_length >= 1);
+  st_.privileges.assign(static_cast<std::size_t>(degree_), false);
+}
+
+int Me::value_modulus() const noexcept {
+  const int n = degree_ + 1;
+  return options_.paper_faithful_increment ? n + 1 : n;
+}
+
+bool Me::request_cs() {
+  if (st_.request != RequestState::Done) return false;
+  st_.request = RequestState::Wait;
+  st_.externally_requested = true;
+  return true;
+}
+
+bool Me::winner() const {
+  // Winner(p) ≡ (IDL.minID = ID ∧ Value = 0)
+  //           ∨ (∃q: Privileges[q] ∧ IDL.ID-Tab[q] = IDL.minID)
+  if (idl_.min_id() == own_id_ && st_.value == 0) return true;
+  for (int ch = 0; ch < degree_; ++ch)
+    if (st_.privileges[static_cast<std::size_t>(ch)] &&
+        idl_.id_tab(ch) == idl_.min_id())
+      return true;
+  return false;
+}
+
+bool Me::tick_enabled() const noexcept {
+  if (in_cs()) return true;  // the CS countdown advances on ticks
+  switch (st_.phase) {
+    case 0: return true;                                     // A0
+    case 1: return idl_.done();                              // A1
+    case 2:
+    case 3:
+    case 4: return pif_.done();                              // A2..A4
+    default: return true;  // out-of-domain fuzz value; A-none, repaired below
+  }
+}
+
+void Me::tick(sim::Context& ctx) {
+  if (in_cs()) {
+    if (--st_.cs_remaining == 0) finish_cs(ctx);
+    return;
+  }
+
+  // Defensive repair: the declared domain of Phase is {0..4}; a wild value
+  // (possible only through out-of-domain fuzzing) re-enters the cycle at 0.
+  if (st_.phase < 0 || st_.phase > 4) st_.phase = 0;
+
+  // A0 — (re)start the cycle: launch IDL, absorb a pending request.
+  if (st_.phase == 0) {
+    idl_.request();
+    if (st_.request == RequestState::Wait) {
+      st_.request = RequestState::In;
+      ctx.observe(sim::Layer::Me, sim::ObsKind::Start, -1, Value::none());
+    }
+    st_.phase = 1;
+    return;  // IDL.Request was just set to Wait, so A1 cannot hold yet
+  }
+  // A1 — IDL finished: ask who is favoured.
+  if (st_.phase == 1 && idl_.done()) {
+    pif_.request(Value::token(Token::Ask));
+    st_.phase = 2;
+    return;  // PIF.Request = Wait now; A2 cannot hold in this activation
+  }
+  // A2 — ASK finished: a winner evicts every ghost via EXIT.
+  if (st_.phase == 2 && pif_.done()) {
+    if (winner()) pif_.request(Value::token(Token::Exit));
+    st_.phase = 3;
+    if (!pif_.done()) return;  // EXIT was launched; wait for it
+  }
+  // A3 — EXIT finished (or no EXIT): enter the CS / release.
+  if (st_.phase == 3 && pif_.done()) {
+    if (winner()) {
+      if (st_.request == RequestState::In) {
+        // Enter the critical section. The process is busy until the
+        // countdown completes; finish_cs() then runs the rest of A3.
+        ctx.observe(sim::Layer::Me, sim::ObsKind::CsEnter, -1,
+                    Value::integer(st_.externally_requested ? 1 : 0));
+        st_.cs_remaining = options_.cs_length;
+        st_.phase = 4;
+        return;
+      }
+      release();  // non-requesting winner still passes the token on
+    }
+    st_.phase = 4;
+    if (!pif_.done()) return;  // a release broadcast may be in flight
+  }
+  // A4 — wait for the last broadcast of the cycle, then wrap around.
+  if (st_.phase == 4 && pif_.done()) st_.phase = 0;
+}
+
+void Me::finish_cs(sim::Context& ctx) {
+  ctx.observe(sim::Layer::Me, sim::ObsKind::CsExit, -1,
+              Value::integer(st_.externally_requested ? 1 : 0));
+  if (options_.cs_body) options_.cs_body();
+  if (st_.request == RequestState::In) {
+    st_.request = RequestState::Done;
+    st_.externally_requested = false;
+    ctx.observe(sim::Layer::Me, sim::ObsKind::Decide, -1, Value::none());
+  }
+  release();
+  st_.phase = 4;
+}
+
+void Me::release() {
+  if (idl_.min_id() == own_id_) {
+    // The leader releases itself: Value 0 -> 1.
+    st_.value = 1 % value_modulus();
+  } else {
+    pif_.request(Value::token(Token::ExitCs));
+  }
+}
+
+Value Me::on_brd_ask(sim::Context&, int ch) {
+  // A5 — YES iff Value favours the asking neighbor (paper channel number
+  // ch+1).
+  return Value::token(st_.value == ch + 1 ? Token::Yes : Token::No);
+}
+
+Value Me::on_brd_exit(sim::Context&, int) {
+  // A6 — a winner is about to enter the CS: restart our cycle from phase 0.
+  st_.phase = 0;
+  return Value::token(Token::Ok);
+}
+
+Value Me::on_brd_exitcs(sim::Context&, int ch) {
+  // A7 — the favoured neighbor released the CS: advance the favour token.
+  if (st_.value == ch + 1)
+    st_.value = (st_.value + 1) % value_modulus();
+  return Value::token(Token::Ok);
+}
+
+void Me::on_fck_ask(sim::Context&, int ch, const Value& f) {
+  // A8 / A9 — record the answer; any non-YES payload counts as NO.
+  st_.privileges[static_cast<std::size_t>(ch)] = f.is_token(Token::Yes);
+}
+
+void Me::randomize(Rng& rng) {
+  st_.request = random_request_state(rng);
+  st_.phase = static_cast<int>(rng.below(5));
+  st_.value = static_cast<int>(rng.below(
+      static_cast<std::uint64_t>(value_modulus())));
+  for (int ch = 0; ch < degree_; ++ch)
+    st_.privileges[static_cast<std::size_t>(ch)] = rng.chance(0.5);
+  // With some probability the process starts inside a ghost critical
+  // section — the adversarial case of the paper's footnote 1.
+  st_.cs_remaining =
+      rng.chance(0.2) ? 1 + static_cast<int>(rng.below(
+                                static_cast<std::uint64_t>(
+                                    options_.cs_length)))
+                      : 0;
+  st_.externally_requested = false;
+}
+
+}  // namespace snapstab::core

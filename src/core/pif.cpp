@@ -1,0 +1,111 @@
+#include "core/pif.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace snapstab::core {
+
+Pif::Pif(int degree, int channel_capacity, std::int32_t flag_bound_override)
+    : degree_(degree),
+      capacity_(channel_capacity),
+      flag_bound_(flag_bound_override != 0 ? flag_bound_override
+                                           : 2 * channel_capacity + 2) {
+  SNAPSTAB_CHECK_MSG(degree_ >= 1, "PIF needs at least one neighbor");
+  SNAPSTAB_CHECK_MSG(capacity_ >= 1,
+                     "snap-stabilization requires a known capacity bound");
+  SNAPSTAB_CHECK_MSG(flag_bound_ >= 1, "flag bound must be positive");
+  const auto d = static_cast<std::size_t>(degree_);
+  st_.f_mes.assign(d, Value::token(Token::Ok));
+  // The constructed state is quiescent: no computation running, every
+  // handshake complete. Snap-stabilization of course never relies on this —
+  // randomize() overwrites everything.
+  st_.state.assign(d, flag_bound_);
+  st_.neig_state.assign(d, flag_bound_);
+}
+
+void Pif::request(const Value& b) {
+  st_.b_mes = b;
+  st_.request = RequestState::Wait;
+}
+
+std::int32_t Pif::clamp_flag(std::int32_t v) const noexcept {
+  return std::clamp<std::int32_t>(v, 0, flag_bound_);
+}
+
+void Pif::send_to(sim::Context& ctx, int ch) {
+  ctx.send(ch, Message::pif(st_.b_mes,
+                            st_.f_mes[static_cast<std::size_t>(ch)],
+                            st_.state[static_cast<std::size_t>(ch)],
+                            st_.neig_state[static_cast<std::size_t>(ch)]));
+}
+
+void Pif::tick(sim::Context& ctx) {
+  // A1 — start.
+  if (st_.request == RequestState::Wait) {
+    st_.request = RequestState::In;
+    std::fill(st_.state.begin(), st_.state.end(), 0);
+    ctx.observe(sim::Layer::Pif, sim::ObsKind::Start, -1, st_.b_mes);
+  }
+  // A2 — decide, or retransmit to every unfinished neighbor.
+  if (st_.request == RequestState::In) {
+    const bool all_done =
+        std::all_of(st_.state.begin(), st_.state.end(),
+                    [this](std::int32_t s) { return s == flag_bound_; });
+    if (all_done) {
+      st_.request = RequestState::Done;
+      ctx.observe(sim::Layer::Pif, sim::ObsKind::Decide, -1, st_.b_mes);
+      if (cb_.on_decide) cb_.on_decide(ctx);
+    } else {
+      for (int ch = 0; ch < degree_; ++ch)
+        if (st_.state[static_cast<std::size_t>(ch)] != flag_bound_)
+          send_to(ctx, ch);
+    }
+  }
+}
+
+bool Pif::handle_message(sim::Context& ctx, int ch, const Message& m) {
+  if (m.kind != MsgKind::Pif) return false;
+  SNAPSTAB_CHECK(ch >= 0 && ch < degree_);
+  const auto chi = static_cast<std::size_t>(ch);
+  const std::int32_t q_state = m.state;       // sender's flag for this link
+  const std::int32_t p_state = m.neig_state;  // sender's copy of our flag
+  const std::int32_t brd_flag = flag_bound_ - 1;
+
+  // receive-brd: first sight of the sender's flag reaching F-1 announces the
+  // sender's broadcast payload; the application installs the feedback.
+  if (st_.neig_state[chi] != brd_flag && q_state == brd_flag) {
+    ctx.observe(sim::Layer::Pif, sim::ObsKind::RecvBrd, ch, m.b);
+    st_.f_mes[chi] =
+        cb_.on_brd ? cb_.on_brd(ctx, ch, m.b) : Value::token(Token::Ok);
+  }
+
+  // Out-of-domain flags (wild bytes from a corrupted wire) are stored
+  // clamped into the declared domain; comparisons below use the raw value,
+  // which can only make a match *less* likely — safety is preserved.
+  st_.neig_state[chi] = clamp_flag(q_state);
+
+  if (st_.state[chi] == p_state && st_.state[chi] < flag_bound_) {
+    ++st_.state[chi];
+    if (st_.state[chi] == flag_bound_) {
+      ctx.observe(sim::Layer::Pif, sim::ObsKind::RecvFck, ch, m.f);
+      if (cb_.on_fck) cb_.on_fck(ctx, ch, m.f);
+    }
+  }
+
+  if (q_state < flag_bound_) send_to(ctx, ch);
+  return true;
+}
+
+void Pif::randomize(Rng& rng) {
+  st_.request = random_request_state(rng);
+  st_.b_mes = Value::random(rng);
+  for (int ch = 0; ch < degree_; ++ch) {
+    const auto chi = static_cast<std::size_t>(ch);
+    st_.f_mes[chi] = Value::random(rng);
+    st_.state[chi] = static_cast<std::int32_t>(rng.range(0, flag_bound_));
+    st_.neig_state[chi] = static_cast<std::int32_t>(rng.range(0, flag_bound_));
+  }
+}
+
+}  // namespace snapstab::core

@@ -1,0 +1,124 @@
+// pif.hpp — Protocol PIF (Algorithm 1 of the paper).
+//
+// Snap-stabilizing Propagation of Information with Feedback over a
+// fully-connected network with FIFO, lossy, bounded-capacity channels.
+//
+// Per neighbor q the process keeps two flags:
+//   State[q]     ∈ {0..F}  — progress of the handshake with q
+//                            (F = flag_bound = 2c + 2 for capacity c;
+//                             the paper's capacity-1 instance has F = 4);
+//   NeigState[q] ∈ {0..F}  — the last State value received from q.
+//
+// Actions (paper numbering):
+//   A1  Request = Wait  ->  Request := In; State[q] := 0 for all q   (start)
+//   A2  Request = In    ->  if all State[q] = F then Request := Done (decide)
+//                           else retransmit <PIF, B-Mes, F-Mes[q],
+//                                            State[q], NeigState[q]> to
+//                           every q with State[q] != F
+//   A3  receive <PIF, B, F, qState, pState> from q ->
+//         if NeigState[q] != F-1 and qState = F-1: generate receive-brd<B>
+//         NeigState[q] := qState
+//         if State[q] = pState and State[q] < F: State[q] += 1
+//             if State[q] = F: generate receive-fck<F>
+//         if qState < F: echo <PIF, B-Mes, F-Mes[q], State[q], NeigState[q]>
+//
+// Why it is snap-stabilizing (Lemma 4): after a start, State[q] climbs one
+// by one; at most 2c + 1 increments can be caused by stale data (c messages
+// initially in each direction of the link, plus q's initial NeigState), so
+// the transition (F-2) -> (F-1) is reachable only via a genuine round trip,
+// and the final (F-1) -> F carries the genuine feedback.
+//
+// The capacity-c generalization (flag range {0..2c+2}) is the extension the
+// paper calls straightforward (Section 4); experiment E7 validates it.
+#ifndef SNAPSTAB_CORE_PIF_HPP
+#define SNAPSTAB_CORE_PIF_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/request.hpp"
+#include "msg/message.hpp"
+#include "sim/process.hpp"
+
+namespace snapstab::core {
+
+class Pif {
+ public:
+  struct Callbacks {
+    // receive-brd<B> from channel ch: the application returns the feedback
+    // message to install in F-Mes[ch] (the paper's footnote 2).
+    std::function<Value(sim::Context&, int ch, const Value& b)> on_brd;
+    // receive-fck<F> from channel ch (only for the initiator's own
+    // computation, once per neighbor, at the State[ch] = F switch).
+    std::function<void(sim::Context&, int ch, const Value& f)> on_fck;
+    // Decision event (Request: In -> Done).
+    std::function<void(sim::Context&)> on_decide;
+  };
+
+  // `degree` is n-1; `channel_capacity` is the known bound c >= 1 on the
+  // channel capacity the protocol is configured for. A non-zero
+  // `flag_bound_override` replaces the derived bound 2c+2 — FOR THE
+  // ABLATION EXPERIMENT ONLY (exp_ablation shows every smaller bound is
+  // unsound, which is the quantitative content of Lemma 4).
+  explicit Pif(int degree, int channel_capacity = 1,
+               std::int32_t flag_bound_override = 0);
+
+  void set_callbacks(Callbacks cb) { cb_ = std::move(cb); }
+
+  // External request: sets B-Mes := b and Request := Wait. The application
+  // must not re-request before the decision (Hypothesis 1); re-requesting
+  // anyway is tolerated and simply restarts the computation — the ME layer
+  // relies on this when an EXIT broadcast resets a cycle.
+  void request(const Value& b);
+
+  RequestState request_state() const noexcept { return st_.request; }
+  bool done() const noexcept { return st_.request == RequestState::Done; }
+
+  int degree() const noexcept { return degree_; }
+  int capacity() const noexcept { return capacity_; }
+  // F = 2c + 2: the flag value at which the handshake with a neighbor is
+  // complete; also the number of increments a started computation performs.
+  std::int32_t flag_bound() const noexcept { return flag_bound_; }
+
+  // Spontaneous actions A1 and A2, in text order.
+  void tick(sim::Context& ctx);
+  bool tick_enabled() const noexcept {
+    return st_.request != RequestState::Done;
+  }
+
+  // Receive action A3. Returns false (message ignored) for non-PIF kinds.
+  bool handle_message(sim::Context& ctx, int ch, const Message& m);
+
+  // Arbitrary initial state over the declared domains.
+  void randomize(Rng& rng);
+
+  // Full state exposure: the proofs reason about exact variable values and
+  // the tests reproduce those arguments (Figure 1, Lemmas 2-6), so tests and
+  // fuzzers may inspect and set the state directly.
+  struct State {
+    RequestState request = RequestState::Done;
+    Value b_mes;
+    std::vector<Value> f_mes;
+    std::vector<std::int32_t> state;
+    std::vector<std::int32_t> neig_state;
+  };
+  const State& state() const noexcept { return st_; }
+  State& mutable_state() noexcept { return st_; }
+
+  const Value& b_mes() const noexcept { return st_.b_mes; }
+
+ private:
+  void send_to(sim::Context& ctx, int ch);
+  std::int32_t clamp_flag(std::int32_t v) const noexcept;
+
+  int degree_;
+  int capacity_;
+  std::int32_t flag_bound_;
+  Callbacks cb_;
+  State st_;
+};
+
+}  // namespace snapstab::core
+
+#endif  // SNAPSTAB_CORE_PIF_HPP

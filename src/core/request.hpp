@@ -1,0 +1,37 @@
+// request.hpp — the three-valued request interface of the paper.
+//
+// Every protocol exposes an input/output variable Request:
+//   Wait — the application requested a computation (set externally);
+//   In   — a computation is in progress (set by the starting action);
+//   Done — the last computation terminated (the decision event).
+#ifndef SNAPSTAB_CORE_REQUEST_HPP
+#define SNAPSTAB_CORE_REQUEST_HPP
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace snapstab::core {
+
+enum class RequestState : std::uint8_t { Wait, In, Done };
+
+inline const char* request_state_name(RequestState s) noexcept {
+  switch (s) {
+    case RequestState::Wait: return "Wait";
+    case RequestState::In: return "In";
+    case RequestState::Done: return "Done";
+  }
+  return "?";
+}
+
+inline RequestState random_request_state(Rng& rng) {
+  switch (rng.below(3)) {
+    case 0: return RequestState::Wait;
+    case 1: return RequestState::In;
+    default: return RequestState::Done;
+  }
+}
+
+}  // namespace snapstab::core
+
+#endif  // SNAPSTAB_CORE_REQUEST_HPP

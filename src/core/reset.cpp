@@ -1,0 +1,41 @@
+#include "core/reset.hpp"
+
+namespace snapstab::core {
+
+Reset::Reset(Pif& pif, std::function<void(sim::Context&)> on_reset)
+    : pif_(pif), on_reset_(std::move(on_reset)) {}
+
+void Reset::request() { request_ = RequestState::Wait; }
+
+bool Reset::tick_enabled() const noexcept {
+  if (request_ == RequestState::Wait) return true;
+  return request_ == RequestState::In && pif_.done();
+}
+
+void Reset::tick(sim::Context& ctx) {
+  if (request_ == RequestState::Wait) {
+    request_ = RequestState::In;
+    // The initiator resets itself at the start, then propagates the order.
+    ++executed_;
+    if (on_reset_) on_reset_(ctx);
+    pif_.request(Value::token(Token::Reset));
+    ctx.observe(sim::Layer::Service, sim::ObsKind::Start, -1,
+                Value::token(Token::Reset));
+    return;
+  }
+  if (request_ == RequestState::In && pif_.done()) {
+    request_ = RequestState::Done;
+    ctx.observe(sim::Layer::Service, sim::ObsKind::Decide, -1,
+                Value::token(Token::Reset));
+  }
+}
+
+Value Reset::on_brd(sim::Context& ctx, int) {
+  ++executed_;
+  if (on_reset_) on_reset_(ctx);
+  return Value::token(Token::Ok);
+}
+
+void Reset::randomize(Rng& rng) { request_ = random_request_state(rng); }
+
+}  // namespace snapstab::core

@@ -1,0 +1,54 @@
+// reset.hpp — snap-stabilizing global reset, a PIF-based service.
+//
+// The paper motivates PIF precisely because "many fundamental protocols,
+// e.g., Reset, Snapshot, Leader Election, and Termination Detection, can be
+// solved using a PIF-based solution" (§4.1). This is the Reset: the
+// initiator PIF-broadcasts a RESET order; every process runs its
+// application reset hook inside the receive-brd event and acknowledges.
+// When the computation decides, the initiator knows that
+//   (a) every process executed the hook during the window (PIF
+//       Correctness), and
+//   (b) no pre-reset message survives in its incident channels (Property 1)
+// — all of it from any initial configuration, because PIF is
+// snap-stabilizing.
+#ifndef SNAPSTAB_CORE_RESET_HPP
+#define SNAPSTAB_CORE_RESET_HPP
+
+#include <functional>
+
+#include "core/pif.hpp"
+#include "core/request.hpp"
+
+namespace snapstab::core {
+
+class Reset {
+ public:
+  // `on_reset` is the application hook executed at every process when the
+  // reset order arrives (may be empty).
+  Reset(Pif& pif, std::function<void(sim::Context&)> on_reset);
+
+  void request();  // external Request := Wait
+  RequestState request_state() const noexcept { return request_; }
+  bool done() const noexcept { return request_ == RequestState::Done; }
+
+  // Number of reset orders this process has executed (diagnostic).
+  std::uint64_t resets_executed() const noexcept { return executed_; }
+
+  void tick(sim::Context& ctx);
+  bool tick_enabled() const noexcept;
+
+  // Dispatch target for a received RESET broadcast.
+  Value on_brd(sim::Context& ctx, int ch);
+
+  void randomize(Rng& rng);
+
+ private:
+  Pif& pif_;
+  std::function<void(sim::Context&)> on_reset_;
+  RequestState request_ = RequestState::Done;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace snapstab::core
+
+#endif  // SNAPSTAB_CORE_RESET_HPP

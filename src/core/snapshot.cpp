@@ -1,0 +1,48 @@
+#include "core/snapshot.hpp"
+
+#include "common/check.hpp"
+
+namespace snapstab::core {
+
+Snapshot::Snapshot(Pif& pif, int degree, std::function<Value()> local_state)
+    : pif_(pif), degree_(degree), local_state_(std::move(local_state)) {
+  SNAPSTAB_CHECK(degree_ >= 1);
+  SNAPSTAB_CHECK_MSG(local_state_ != nullptr,
+                     "a snapshot needs the application's state reader");
+  collected_.assign(static_cast<std::size_t>(degree_), Value::none());
+}
+
+void Snapshot::request() { request_ = RequestState::Wait; }
+
+bool Snapshot::tick_enabled() const noexcept {
+  if (request_ == RequestState::Wait) return true;
+  return request_ == RequestState::In && pif_.done();
+}
+
+void Snapshot::tick(sim::Context& ctx) {
+  if (request_ == RequestState::Wait) {
+    request_ = RequestState::In;
+    pif_.request(Value::token(Token::SnapQuery));
+    ctx.observe(sim::Layer::Service, sim::ObsKind::Start, -1,
+                Value::token(Token::SnapQuery));
+    return;
+  }
+  if (request_ == RequestState::In && pif_.done()) {
+    request_ = RequestState::Done;
+    own_state_ = local_state_();
+    ctx.observe(sim::Layer::Service, sim::ObsKind::Decide, -1, own_state_);
+  }
+}
+
+Value Snapshot::on_brd(sim::Context&, int) { return local_state_(); }
+
+void Snapshot::on_fck(sim::Context&, int ch, const Value& f) {
+  collected_[static_cast<std::size_t>(ch)] = f;
+}
+
+void Snapshot::randomize(Rng& rng) {
+  request_ = random_request_state(rng);
+  for (auto& v : collected_) v = Value::random(rng);
+}
+
+}  // namespace snapstab::core

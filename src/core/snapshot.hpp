@@ -1,0 +1,63 @@
+// snapshot.hpp — global state collection, the remaining item of the
+// paper's §4.1 list ("Reset, Snapshot, Leader Election, and Termination
+// Detection can be solved using a PIF-based solution").
+//
+// The initiator PIF-broadcasts a snapshot query; every process feeds back
+// its application-supplied local state value. When the computation decides,
+// the initiator holds one state value per process, each read *after* the
+// process received the query (PIF Correctness), with every pre-snapshot
+// message flushed from the initiator's incident channels (Property 1).
+// Because the underlying PIF is snap-stabilizing, a requested snapshot is
+// authentic from any initial configuration — ghost snapshot results can
+// only belong to non-requested computations.
+//
+// The collected vector is a PIF-consistent *reading*, not a Chandy–Lamport
+// channel-state snapshot: third-party channel contents are not recorded
+// (the paper's list names the building block, not a full snapshot
+// algorithm; extending this service with message logging is future work).
+#ifndef SNAPSTAB_CORE_SNAPSHOT_HPP
+#define SNAPSTAB_CORE_SNAPSHOT_HPP
+
+#include <functional>
+#include <vector>
+
+#include "core/pif.hpp"
+#include "core/request.hpp"
+
+namespace snapstab::core {
+
+class Snapshot {
+ public:
+  // `local_state` supplies this process's state value when a snapshot query
+  // arrives (and for the initiator's own entry at the decision).
+  Snapshot(Pif& pif, int degree, std::function<Value()> local_state);
+
+  void request();  // external Request := Wait
+  RequestState request_state() const noexcept { return request_; }
+  bool done() const noexcept { return request_ == RequestState::Done; }
+
+  // Valid after a started snapshot decided: the neighbor states by channel
+  // and this process's own state sampled at the decision.
+  const std::vector<Value>& collected() const noexcept { return collected_; }
+  const Value& own_state() const noexcept { return own_state_; }
+
+  void tick(sim::Context& ctx);
+  bool tick_enabled() const noexcept;
+
+  Value on_brd(sim::Context& ctx, int ch);                 // query arrives
+  void on_fck(sim::Context& ctx, int ch, const Value& f);  // state collected
+
+  void randomize(Rng& rng);
+
+ private:
+  Pif& pif_;
+  int degree_;
+  std::function<Value()> local_state_;
+  RequestState request_ = RequestState::Done;
+  std::vector<Value> collected_;
+  Value own_state_;
+};
+
+}  // namespace snapstab::core
+
+#endif  // SNAPSTAB_CORE_SNAPSHOT_HPP

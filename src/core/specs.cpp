@@ -1,0 +1,236 @@
+#include "core/specs.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+
+namespace snapstab::core {
+
+namespace {
+
+std::string fmt(const char* pattern, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, pattern, args...);
+  return buf;
+}
+
+}  // namespace
+
+std::string SpecReport::summary() const {
+  if (ok()) return "OK";
+  std::string out = fmt("%zu violation(s):", violations.size());
+  for (const auto& v : violations) {
+    out += "\n  - ";
+    out += v;
+  }
+  return out;
+}
+
+SpecReport check_pif_spec(const sim::Simulator& sim,
+                          const PifSpecOptions& options) {
+  SpecReport report;
+  const auto& events = sim.log().events();
+  const int n = sim.process_count();
+  const auto& net = sim.network();
+
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    // Walk p's request / start / decide timeline for the checked layer.
+    std::vector<std::size_t> starts;
+    std::vector<std::size_t> decides;
+    std::vector<std::size_t> requests;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const auto& e = events[i];
+      if (e.process != p || e.layer != options.layer) continue;
+      if (e.kind == sim::ObsKind::Start) starts.push_back(i);
+      if (e.kind == sim::ObsKind::Decide) decides.push_back(i);
+      if (e.kind == sim::ObsKind::RequestWait) requests.push_back(i);
+    }
+
+    // Start property (Lemma 1): every request is followed by a start.
+    if (options.require_start) {
+      for (const std::size_t r : requests) {
+        const bool started = std::any_of(
+            starts.begin(), starts.end(),
+            [&](std::size_t s) { return s > r; });
+        if (!started)
+          report.add(fmt("p%d: request at event %zu never started", p, r));
+      }
+    }
+
+    for (const std::size_t s : starts) {
+      // The computation window is [start, first decide after start].
+      const auto d_it = std::find_if(decides.begin(), decides.end(),
+                                     [&](std::size_t d) { return d > s; });
+      if (d_it == decides.end()) {
+        if (options.require_termination)
+          report.add(fmt("p%d: computation started at event %zu never decided",
+                         p, s));
+        continue;
+      }
+      const std::size_t d = *d_it;
+      const Value& m = events[s].value;
+
+      // Correctness, part 1: every other process received m within the
+      // window ("any process different of p receives m").
+      for (sim::ProcessId q = 0; q < n; ++q) {
+        if (q == p) continue;
+        const int ch_at_q = net.index_of(q, p);
+        const bool received = std::any_of(
+            events.begin() + static_cast<std::ptrdiff_t>(s),
+            events.begin() + static_cast<std::ptrdiff_t>(d) + 1,
+            [&](const sim::Observation& e) {
+              return e.process == q && e.layer == options.layer &&
+                     e.kind == sim::ObsKind::RecvBrd && e.peer == ch_at_q &&
+                     e.value == m;
+            });
+        if (!received)
+          report.add(fmt(
+              "p%d: broadcast started at event %zu was never received by p%d",
+              p, s, q));
+      }
+
+      // Correctness + Decision, part 2: within the window, p received
+      // exactly one feedback per neighbor ("p decides taking all
+      // acknowledgments of the last message it broadcast into account
+      // only").
+      std::map<int, int> fck_count;
+      for (std::size_t i = s; i <= d; ++i) {
+        const auto& e = events[i];
+        if (e.process == p && e.layer == options.layer &&
+            e.kind == sim::ObsKind::RecvFck)
+          ++fck_count[e.peer];
+      }
+      for (int ch = 0; ch < n - 1; ++ch) {
+        const int count = fck_count.count(ch) != 0 ? fck_count.at(ch) : 0;
+        if (count != 1)
+          report.add(
+              fmt("p%d: computation started at event %zu saw %d feedback(s) "
+                  "from channel %d (expected exactly 1)",
+                  p, s, count, ch));
+      }
+    }
+  }
+  return report;
+}
+
+SpecReport check_idl_spec(
+    const sim::Simulator& sim,
+    const std::function<const Idl&(sim::ProcessId)>& idl_of,
+    const std::vector<std::int64_t>& ids) {
+  SpecReport report;
+  const int n = sim.process_count();
+  const auto& net = sim.network();
+  const std::int64_t true_min = *std::min_element(ids.begin(), ids.end());
+
+  const auto& events = sim.log().events();
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    // Did p run a started-and-terminated IDL computation?
+    bool started = false;
+    bool decided_after_start = false;
+    for (const auto& e : events) {
+      if (e.process != p || e.layer != sim::Layer::Idl) continue;
+      if (e.kind == sim::ObsKind::Start) started = true;
+      if (e.kind == sim::ObsKind::Decide && started)
+        decided_after_start = true;
+    }
+    if (!decided_after_start) continue;
+
+    const Idl& idl = idl_of(p);
+    if (idl.request_state() != RequestState::Done) continue;  // re-running
+
+    if (idl.min_id() != true_min)
+      report.add(fmt("p%d: minID = %lld, expected %lld", p,
+                     static_cast<long long>(idl.min_id()),
+                     static_cast<long long>(true_min)));
+    for (int ch = 0; ch < n - 1; ++ch) {
+      const sim::ProcessId q = net.peer_of(p, ch);
+      if (idl.id_tab(ch) != ids[static_cast<std::size_t>(q)])
+        report.add(fmt("p%d: ID-Tab[%d] = %lld, expected %lld (p%d)", p, ch,
+                       static_cast<long long>(idl.id_tab(ch)),
+                       static_cast<long long>(ids[static_cast<std::size_t>(q)]),
+                       q));
+    }
+  }
+  return report;
+}
+
+SpecReport check_me_spec(const sim::Simulator& sim,
+                         const MeSpecOptions& options) {
+  SpecReport report;
+  const auto& events = sim.log().events();
+  // Open intervals extend to just past the last thing we know happened.
+  std::uint64_t horizon = sim.step_count() + 1;
+  for (const auto& e : events) horizon = std::max(horizon, e.step + 1);
+
+  struct Interval {
+    sim::ProcessId process;
+    std::uint64_t enter;
+    std::uint64_t exit;
+    bool requested;  // CsEnter flag value 1 = externally requested
+  };
+  std::vector<Interval> intervals;
+  std::map<sim::ProcessId, std::size_t> open;  // process -> intervals index
+
+  for (const auto& e : events) {
+    if (e.layer != sim::Layer::Me) continue;
+    if (e.kind == sim::ObsKind::CsEnter) {
+      if (open.count(e.process) != 0)
+        report.add(fmt("p%d: nested CsEnter at step %llu", e.process,
+                       static_cast<unsigned long long>(e.step)));
+      open[e.process] = intervals.size();
+      intervals.push_back(
+          Interval{e.process, e.step, horizon, e.value.as_int(0) == 1});
+    } else if (e.kind == sim::ObsKind::CsExit) {
+      const auto it = open.find(e.process);
+      if (it != open.end()) {
+        intervals[it->second].exit = e.step;
+        open.erase(it);
+      } else {
+        // Ghost CS running since before the first step (fuzzed
+        // configuration): interval [0, exit]; never "requested".
+        intervals.push_back(Interval{e.process, 0, e.step, false});
+      }
+    }
+  }
+
+  // Correctness: a requesting process executes the CS alone.
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    if (!intervals[i].requested) continue;
+    for (std::size_t j = 0; j < intervals.size(); ++j) {
+      if (i == j || intervals[i].process == intervals[j].process) continue;
+      const bool overlap = intervals[i].enter < intervals[j].exit &&
+                           intervals[j].enter < intervals[i].exit;
+      if (overlap)
+        report.add(fmt(
+            "mutual exclusion violated: p%d in CS [%llu, %llu] overlaps "
+            "p%d in CS [%llu, %llu]",
+            intervals[i].process,
+            static_cast<unsigned long long>(intervals[i].enter),
+            static_cast<unsigned long long>(intervals[i].exit),
+            intervals[j].process,
+            static_cast<unsigned long long>(intervals[j].enter),
+            static_cast<unsigned long long>(intervals[j].exit)));
+    }
+  }
+
+  // Start property (Lemma 12): every observed request is eventually served
+  // by a requested CS interval of the same process.
+  if (options.require_liveness) {
+    for (const auto& e : events) {
+      if (e.layer != sim::Layer::Me || e.kind != sim::ObsKind::RequestWait)
+        continue;
+      const bool served = std::any_of(
+          intervals.begin(), intervals.end(), [&](const Interval& iv) {
+            return iv.process == e.process && iv.requested &&
+                   iv.enter >= e.step;
+          });
+      if (!served)
+        report.add(fmt("p%d: CS request at step %llu never served", e.process,
+                       static_cast<unsigned long long>(e.step)));
+    }
+  }
+  return report;
+}
+
+}  // namespace snapstab::core

@@ -1,0 +1,106 @@
+#include "core/termdetect.hpp"
+
+#include "common/check.hpp"
+
+namespace snapstab::core {
+
+TermDetect::TermDetect(Pif& pif, int degree,
+                       std::function<AppCounters()> counters)
+    : pif_(pif), degree_(degree), counters_(std::move(counters)) {
+  SNAPSTAB_CHECK(degree_ >= 1);
+  SNAPSTAB_CHECK_MSG(counters_ != nullptr,
+                     "the detector needs the application's counters");
+  current_.peers.assign(static_cast<std::size_t>(degree_), AppCounters{});
+  previous_.peers.assign(static_cast<std::size_t>(degree_), AppCounters{});
+}
+
+void TermDetect::request() { request_ = RequestState::Wait; }
+
+bool TermDetect::tick_enabled() const noexcept {
+  if (request_ == RequestState::Wait) return true;
+  return request_ == RequestState::In && pif_.done();
+}
+
+void TermDetect::start_wave() {
+  pif_.request(Value::token(Token::Probe));
+  ++waves_;
+}
+
+void TermDetect::tick(sim::Context& ctx) {
+  if (request_ == RequestState::Wait) {
+    request_ = RequestState::In;
+    claim_ = false;
+    have_prev_ = false;
+    waves_ = 0;
+    ctx.observe(sim::Layer::Service, sim::ObsKind::Start, -1,
+                Value::token(Token::Probe));
+    start_wave();
+    return;
+  }
+  if (request_ != RequestState::In || !pif_.done()) return;
+
+  // A probe wave just completed: fold in our own counters and decide
+  // whether this snapshot, paired with the previous one, proves
+  // termination.
+  current_.self = counters_();
+  const bool quiet = snapshot_is_quiet(current_);
+  if (quiet && have_prev_ && current_ == previous_) {
+    claim_ = true;
+    request_ = RequestState::Done;
+    ctx.observe(sim::Layer::Service, sim::ObsKind::Decide, -1,
+                Value::integer(waves_));
+    return;
+  }
+  previous_ = current_;
+  have_prev_ = quiet;  // only a quiet snapshot can anchor a double probe
+  start_wave();
+}
+
+bool TermDetect::snapshot_is_quiet(const Snapshot& s) const {
+  std::uint64_t sent = s.self.sent;
+  std::uint64_t received = s.self.received;
+  bool all_passive = s.self.passive;
+  for (const auto& c : s.peers) {
+    all_passive = all_passive && c.passive;
+    sent += c.sent;
+    received += c.received;
+  }
+  return all_passive && sent == received;
+}
+
+Value TermDetect::on_brd(sim::Context&, int) { return pack(counters_()); }
+
+void TermDetect::on_fck(sim::Context&, int ch, const Value& f) {
+  current_.peers[static_cast<std::size_t>(ch)] = unpack(f);
+}
+
+Value TermDetect::pack(const AppCounters& c) {
+  const std::uint64_t bits =
+      (c.passive ? 1ull : 0ull) |
+      (static_cast<std::uint64_t>(c.sent & 0x7FFFFFFFu) << 1) |
+      (static_cast<std::uint64_t>(c.received & 0x7FFFFFFFu) << 32);
+  return Value::integer(static_cast<std::int64_t>(bits));
+}
+
+AppCounters TermDetect::unpack(const Value& v) {
+  const auto bits = static_cast<std::uint64_t>(v.as_int(0));
+  AppCounters c;
+  c.passive = (bits & 1ull) != 0;
+  c.sent = static_cast<std::uint32_t>((bits >> 1) & 0x7FFFFFFFu);
+  c.received = static_cast<std::uint32_t>((bits >> 32) & 0x7FFFFFFFu);
+  return c;
+}
+
+void TermDetect::randomize(Rng& rng) {
+  request_ = random_request_state(rng);
+  claim_ = rng.chance(0.5);
+  have_prev_ = rng.chance(0.5);
+  previous_.self.passive = rng.chance(0.5);
+  for (auto& c : previous_.peers) {
+    c.passive = rng.chance(0.5);
+    c.sent = static_cast<std::uint32_t>(rng.below(100));
+    c.received = static_cast<std::uint32_t>(rng.below(100));
+  }
+}
+
+}  // namespace snapstab::core

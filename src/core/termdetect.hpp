@@ -1,0 +1,99 @@
+// termdetect.hpp — termination detection for diffusing computations,
+// a PIF-based service (the fourth item on the paper's §4.1 list).
+//
+// The observed application runs at every process, exchanges App messages,
+// and exposes three local counters:
+//     passive   — no local work pending,
+//     sent      — App messages successfully handed to a channel,
+//     received  — App messages delivered.
+// The initiator runs repeated PIF probe waves; each wave collects every
+// process's (passive, sent, received) snapshot through the feedbacks. It
+// claims termination when
+//   (1) every process (itself included) reported passive,
+//   (2) the global sent and received totals balance (no App message is in
+//       flight on any channel — including third-party channels the probe
+//       wave itself never traverses), and
+//   (3) the snapshot vector is identical to the previous wave's
+//       (the Safra-style double probe: nothing moved in between).
+// Under reliable App delivery (the classical assumption for termination
+// detection; the counters cannot distinguish a lost message from one
+// eternally in flight) a claim is sound, and the claim is reached in
+// finitely many waves once the computation quiesces.
+//
+// The probes themselves ride on the snap-stabilizing PIF, so a *started*
+// detection works from arbitrary protocol state; the application counters
+// are application state and are assumed authentic (they are not part of
+// the protocol's corruption model, exactly as the CS body in Protocol ME).
+#ifndef SNAPSTAB_CORE_TERMDETECT_HPP
+#define SNAPSTAB_CORE_TERMDETECT_HPP
+
+#include <functional>
+#include <vector>
+
+#include "core/pif.hpp"
+#include "core/request.hpp"
+
+namespace snapstab::core {
+
+struct AppCounters {
+  bool passive = true;
+  std::uint32_t sent = 0;
+  std::uint32_t received = 0;
+
+  bool operator==(const AppCounters&) const = default;
+};
+
+class TermDetect {
+ public:
+  TermDetect(Pif& pif, int degree, std::function<AppCounters()> counters);
+
+  void request();  // start a detection (external Request := Wait)
+  RequestState request_state() const noexcept { return request_; }
+  bool done() const noexcept { return request_ == RequestState::Done; }
+  // Valid after done(): whether the detector claimed global termination.
+  bool termination_claimed() const noexcept { return claim_; }
+  int waves_used() const noexcept { return waves_; }
+
+  void tick(sim::Context& ctx);
+  bool tick_enabled() const noexcept;
+
+  // Dispatch targets for PROBE broadcasts / feedbacks.
+  Value on_brd(sim::Context& ctx, int ch);
+  void on_fck(sim::Context& ctx, int ch, const Value& f);
+
+  void randomize(Rng& rng);
+
+  // Wire packing of AppCounters into a single integer payload:
+  //   bit 0      — passive
+  //   bits 1..31 — sent   (31 bits)
+  //   bits 32..62 — received (31 bits)
+  // unpack() is total: any Value yields some AppCounters (garbage payloads
+  // can only occur for non-started computations).
+  static Value pack(const AppCounters& c);
+  static AppCounters unpack(const Value& v);
+
+ private:
+  struct Snapshot {
+    std::vector<AppCounters> peers;  // per channel
+    AppCounters self;
+
+    bool operator==(const Snapshot&) const = default;
+  };
+
+  bool snapshot_is_quiet(const Snapshot& s) const;
+  void start_wave();
+
+  Pif& pif_;
+  int degree_;
+  std::function<AppCounters()> counters_;
+  RequestState request_ = RequestState::Done;
+  bool claim_ = false;
+  bool have_prev_ = false;
+  int waves_ = 0;
+  Snapshot current_;
+  Snapshot previous_;
+};
+
+}  // namespace snapstab::core
+
+#endif  // SNAPSTAB_CORE_TERMDETECT_HPP

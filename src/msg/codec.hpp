@@ -1,0 +1,37 @@
+// codec.hpp — binary wire format for Message.
+//
+// The thread runtime serializes every message through this codec so the
+// protocols are exercised against a real byte-level wire format, not just
+// in-memory structs. decode() is total: any byte sequence either yields a
+// well-formed Message or nullopt — a corrupted datagram can never crash a
+// process (the paper's arbitrary-initial-configuration assumption extends
+// to arbitrary bytes on the wire).
+//
+// Layout (little-endian):
+//   u8  kind | i32 state | i32 neig_state | value b | value f
+// value:
+//   u8 tag (0 none, 1 int, 2 token, 3 text) |
+//   int:   i64
+//   token: u8
+//   text:  u32 length, bytes
+#ifndef SNAPSTAB_MSG_CODEC_HPP
+#define SNAPSTAB_MSG_CODEC_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "msg/message.hpp"
+
+namespace snapstab {
+
+std::vector<std::uint8_t> encode(const Message& m);
+std::optional<Message> decode(const std::uint8_t* data, std::size_t size);
+
+inline std::optional<Message> decode(const std::vector<std::uint8_t>& bytes) {
+  return decode(bytes.data(), bytes.size());
+}
+
+}  // namespace snapstab
+
+#endif  // SNAPSTAB_MSG_CODEC_HPP

@@ -1,0 +1,49 @@
+#include "msg/message.hpp"
+
+#include <cstdio>
+
+namespace snapstab {
+
+const char* msg_kind_name(MsgKind k) noexcept {
+  switch (k) {
+    case MsgKind::Pif: return "PIF";
+    case MsgKind::NaiveBrd: return "NBRD";
+    case MsgKind::NaiveFck: return "NFCK";
+    case MsgKind::SeqBrd: return "SBRD";
+    case MsgKind::SeqFck: return "SFCK";
+    case MsgKind::App: return "APP";
+  }
+  return "?";
+}
+
+std::string Message::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "<%s,%s,%s,%d,%d>", msg_kind_name(kind),
+                b.to_string().c_str(), f.to_string().c_str(), state,
+                neig_state);
+  return buf;
+}
+
+Message Message::random(Rng& rng, std::int32_t flag_limit, bool wild) {
+  Message m;
+  switch (rng.below(6)) {
+    case 0: m.kind = MsgKind::Pif; break;
+    case 1: m.kind = MsgKind::NaiveBrd; break;
+    case 2: m.kind = MsgKind::NaiveFck; break;
+    case 3: m.kind = MsgKind::SeqBrd; break;
+    case 4: m.kind = MsgKind::SeqFck; break;
+    default: m.kind = MsgKind::App; break;
+  }
+  m.b = Value::random(rng);
+  m.f = Value::random(rng);
+  if (wild) {
+    m.state = static_cast<std::int32_t>(rng.next());
+    m.neig_state = static_cast<std::int32_t>(rng.next());
+  } else {
+    m.state = static_cast<std::int32_t>(rng.range(0, flag_limit));
+    m.neig_state = static_cast<std::int32_t>(rng.range(0, flag_limit));
+  }
+  return m;
+}
+
+}  // namespace snapstab

@@ -1,0 +1,77 @@
+// message.hpp — wire messages.
+//
+// One concrete message struct covers every protocol in the repository so
+// that channels, fuzzers and the codec are protocol-agnostic:
+//
+//   Pif       — the paper's single message type <PIF, B, F, State, NeigState>
+//               (Algorithm 1). `state` is the sender's flag for this channel,
+//               `neig_state` is the sender's copy of the receiver's flag.
+//   NaiveBrd / NaiveFck — the Section-4.1 "naive attempt" baseline.
+//   SeqBrd / SeqFck     — the self-stabilizing mod-K sequence-number
+//               baseline; `state` carries the sequence number.
+//   App       — application-level payload (the diffusing computations the
+//               termination-detection service observes).
+#ifndef SNAPSTAB_MSG_MESSAGE_HPP
+#define SNAPSTAB_MSG_MESSAGE_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "msg/value.hpp"
+
+namespace snapstab {
+
+enum class MsgKind : std::uint8_t {
+  Pif,
+  NaiveBrd,
+  NaiveFck,
+  SeqBrd,
+  SeqFck,
+  App,
+};
+
+const char* msg_kind_name(MsgKind k) noexcept;
+
+struct Message {
+  MsgKind kind = MsgKind::Pif;
+  Value b;                     // broadcast payload (B-Mes)
+  Value f;                     // feedback payload (F-Mes)
+  std::int32_t state = 0;      // Pif flag / sequence number
+  std::int32_t neig_state = 0; // Pif: echoed receiver flag
+
+  bool operator==(const Message&) const = default;
+
+  std::string to_string() const;
+
+  static Message pif(Value b_mes, Value f_mes, std::int32_t state,
+                     std::int32_t neig_state) {
+    return Message{MsgKind::Pif, std::move(b_mes), std::move(f_mes), state,
+                   neig_state};
+  }
+  static Message naive_brd(Value b_mes) {
+    return Message{MsgKind::NaiveBrd, std::move(b_mes), Value::none(), 0, 0};
+  }
+  static Message naive_fck(Value f_mes) {
+    return Message{MsgKind::NaiveFck, Value::none(), std::move(f_mes), 0, 0};
+  }
+  static Message seq_brd(Value b_mes, std::int32_t seq) {
+    return Message{MsgKind::SeqBrd, std::move(b_mes), Value::none(), seq, 0};
+  }
+  static Message seq_fck(Value f_mes, std::int32_t seq) {
+    return Message{MsgKind::SeqFck, Value::none(), std::move(f_mes), seq, 0};
+  }
+  static Message app(Value payload) {
+    return Message{MsgKind::App, std::move(payload), Value::none(), 0, 0};
+  }
+
+  // Arbitrary well-formed message for initial-configuration fuzzing.
+  // Flags are drawn from [0, flag_limit] (pass the protocol's flag bound);
+  // with `wild` they are drawn from the full int32 range instead, which
+  // exercises the defensive handling of out-of-domain bytes.
+  static Message random(Rng& rng, std::int32_t flag_limit, bool wild = false);
+};
+
+}  // namespace snapstab
+
+#endif  // SNAPSTAB_MSG_MESSAGE_HPP

@@ -1,0 +1,67 @@
+#include "msg/value.hpp"
+
+#include <array>
+
+namespace snapstab {
+
+const char* token_name(Token t) noexcept {
+  switch (t) {
+    case Token::Ok: return "OK";
+    case Token::IdlQuery: return "IDL";
+    case Token::Ask: return "ASK";
+    case Token::Exit: return "EXIT";
+    case Token::ExitCs: return "EXITCS";
+    case Token::Yes: return "YES";
+    case Token::No: return "NO";
+    case Token::Reset: return "RESET";
+    case Token::Probe: return "PROBE";
+    case Token::SnapQuery: return "SNAP";
+  }
+  return "?";
+}
+
+std::int64_t Value::as_int(std::int64_t fallback) const noexcept {
+  const auto* p = std::get_if<std::int64_t>(&v_);
+  return p != nullptr ? *p : fallback;
+}
+
+Token Value::as_token(Token fallback) const noexcept {
+  const auto* p = std::get_if<Token>(&v_);
+  return p != nullptr ? *p : fallback;
+}
+
+const std::string& Value::as_text() const noexcept {
+  static const std::string empty;
+  const auto* p = std::get_if<std::string>(&v_);
+  return p != nullptr ? *p : empty;
+}
+
+std::string Value::to_string() const {
+  if (is_none()) return "-";
+  if (is_int()) return std::to_string(std::get<std::int64_t>(v_));
+  if (is_token()) return token_name(std::get<Token>(v_));
+  return "\"" + std::get<std::string>(v_) + "\"";
+}
+
+Value Value::random(Rng& rng) {
+  switch (rng.below(4)) {
+    case 0: return none();
+    case 1: return integer(rng.range(-4, 1000));
+    case 2: {
+      static constexpr std::array<Token, 10> all = {
+          Token::Ok,   Token::IdlQuery, Token::Ask,   Token::Exit,
+          Token::ExitCs, Token::Yes,    Token::No,    Token::Reset,
+          Token::Probe, Token::SnapQuery};
+      return token(all[rng.below(all.size())]);
+    }
+    default: {
+      std::string s;
+      const auto len = rng.below(6);
+      for (std::uint64_t i = 0; i < len; ++i)
+        s.push_back(static_cast<char>('a' + rng.below(26)));
+      return text(std::move(s));
+    }
+  }
+}
+
+}  // namespace snapstab

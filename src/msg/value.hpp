@@ -1,0 +1,96 @@
+// value.hpp — message payloads ("message-values" in the paper).
+//
+// The paper's messages are of the form <message-type, message-value...>.
+// Value models a single message-value: either nothing, an integer (process
+// IDs, ages, counters), a protocol token (IDL / ASK / EXIT / EXITCS / YES /
+// NO / OK), or free text (application payloads such as the quickstart's
+// "How old are you?"). Values are small, copyable, equality-comparable and
+// fuzzable, which is what the arbitrary-initial-configuration machinery
+// needs.
+#ifndef SNAPSTAB_MSG_VALUE_HPP
+#define SNAPSTAB_MSG_VALUE_HPP
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/rng.hpp"
+
+namespace snapstab {
+
+// Protocol tokens used by the protocols in this repository.
+//   Ok       — contentless acknowledgment (ME actions A6/A7 feedback)
+//   IdlQuery — the IDL broadcast payload ("IDL" in Algorithm 2)
+//   Ask / Exit / ExitCs — ME broadcast payloads (Algorithm 3)
+//   Yes / No — ME feedback payloads (actions A5/A8/A9)
+//   Reset    — global-reset service broadcast (services built on PIF)
+//   Probe    — termination-detection probe broadcast
+//   SnapQuery — snapshot-service state-collection broadcast
+enum class Token : std::uint8_t {
+  Ok,
+  IdlQuery,
+  Ask,
+  Exit,
+  ExitCs,
+  Yes,
+  No,
+  Reset,
+  Probe,
+  SnapQuery,
+};
+
+// Highest valid token value; the codec rejects anything beyond it.
+inline constexpr std::uint8_t kMaxTokenValue =
+    static_cast<std::uint8_t>(Token::SnapQuery);
+
+const char* token_name(Token t) noexcept;
+
+class Value {
+ public:
+  Value() = default;  // none
+
+  static Value none() { return Value(); }
+  static Value integer(std::int64_t v) { return Value(v); }
+  static Value token(Token t) { return Value(t); }
+  static Value text(std::string s) { return Value(std::move(s)); }
+
+  bool is_none() const noexcept {
+    return std::holds_alternative<std::monostate>(v_);
+  }
+  bool is_int() const noexcept {
+    return std::holds_alternative<std::int64_t>(v_);
+  }
+  bool is_token() const noexcept { return std::holds_alternative<Token>(v_); }
+  bool is_text() const noexcept {
+    return std::holds_alternative<std::string>(v_);
+  }
+
+  // Accessors are total: a mismatching payload yields the fallback. The
+  // protocols must tolerate arbitrary payloads (arbitrary initial
+  // configurations put garbage into channels), so no accessor throws.
+  std::int64_t as_int(std::int64_t fallback = 0) const noexcept;
+  Token as_token(Token fallback = Token::Ok) const noexcept;
+  const std::string& as_text() const noexcept;  // empty string fallback
+
+  bool is_token(Token t) const noexcept {
+    return is_token() && std::get<Token>(v_) == t;
+  }
+
+  bool operator==(const Value&) const = default;
+
+  std::string to_string() const;
+
+  // Uniformly random value over all four alternatives (fuzzing).
+  static Value random(Rng& rng);
+
+ private:
+  explicit Value(std::int64_t v) : v_(v) {}
+  explicit Value(Token t) : v_(t) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+
+  std::variant<std::monostate, std::int64_t, Token, std::string> v_;
+};
+
+}  // namespace snapstab
+
+#endif  // SNAPSTAB_MSG_VALUE_HPP

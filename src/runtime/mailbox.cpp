@@ -1,0 +1,34 @@
+#include "runtime/mailbox.hpp"
+
+namespace snapstab::runtime {
+
+bool Mailbox::try_push(const Message& m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slots_.size() >= capacity_) {
+    ++stats_.lost_on_full;
+    return false;
+  }
+  slots_.push_back(encode(m));
+  ++stats_.pushed;
+  return true;
+}
+
+std::optional<Message> Mailbox::try_pop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!slots_.empty()) {
+    std::vector<std::uint8_t> bytes = std::move(slots_.front());
+    slots_.pop_front();
+    ++stats_.popped;
+    auto decoded = decode(bytes);
+    if (decoded.has_value()) return decoded;
+    ++stats_.decode_failures;  // corrupted datagram: drop and continue
+  }
+  return std::nullopt;
+}
+
+Mailbox::Stats Mailbox::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace snapstab::runtime

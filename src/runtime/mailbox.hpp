@@ -1,0 +1,51 @@
+// mailbox.hpp — a bounded, lossy, FIFO mailbox for the thread runtime.
+//
+// One mailbox realizes one directed channel between two OS threads. It
+// enforces the paper's bounded-capacity semantics (a push into a full
+// mailbox loses the pushed message) and round-trips every message through
+// the binary codec, so the protocols run against a real wire format.
+#ifndef SNAPSTAB_RUNTIME_MAILBOX_HPP
+#define SNAPSTAB_RUNTIME_MAILBOX_HPP
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "msg/codec.hpp"
+#include "msg/message.hpp"
+
+namespace snapstab::runtime {
+
+class Mailbox {
+ public:
+  explicit Mailbox(std::size_t capacity = 1) : capacity_(capacity) {}
+
+  // Thread-safe. Returns false when the mailbox was full (message lost).
+  bool try_push(const Message& m);
+
+  // Thread-safe. Returns the decoded head message, or nullopt when empty.
+  // A datagram that fails to decode is dropped and counted.
+  std::optional<Message> try_pop();
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  struct Stats {
+    std::uint64_t pushed = 0;
+    std::uint64_t lost_on_full = 0;
+    std::uint64_t popped = 0;
+    std::uint64_t decode_failures = 0;
+  };
+  Stats stats() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<std::vector<std::uint8_t>> slots_;
+  Stats stats_;
+};
+
+}  // namespace snapstab::runtime
+
+#endif  // SNAPSTAB_RUNTIME_MAILBOX_HPP

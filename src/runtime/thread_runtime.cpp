@@ -1,0 +1,150 @@
+#include "runtime/thread_runtime.hpp"
+
+#include "common/check.hpp"
+
+namespace snapstab::runtime {
+
+// Context implementation bound to one process of the thread runtime. Only
+// ever used by the owning thread while it holds the node mutex.
+class ThreadRuntime::NodeContext final : public sim::Context {
+ public:
+  NodeContext(ThreadRuntime& rt, int self) : rt_(rt), self_(self) {}
+
+  int degree() const override { return rt_.n_ - 1; }
+
+  bool send(int channel_index, const Message& m) override {
+    // Same local-index mapping as the simulator's Network.
+    const int dst = (self_ + 1 + channel_index) % rt_.n_;
+    auto& node = *rt_.nodes_[static_cast<std::size_t>(self_)];
+    if (rt_.options_.loss_rate > 0.0 &&
+        node.rng.chance(rt_.options_.loss_rate))
+      return true;  // accepted, then the wire ate it (invisible loss)
+    return rt_.mailbox_mut(self_, dst).try_push(m);
+  }
+
+  void observe(sim::Layer layer, sim::ObsKind kind, int peer,
+               const Value& value) override {
+    const std::uint64_t step =
+        rt_.event_counter_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(rt_.log_mu_);
+    rt_.log_.push_back(
+        sim::Observation{step, self_, layer, kind, peer, value});
+  }
+
+  Rng& rng() override {
+    return rt_.nodes_[static_cast<std::size_t>(self_)]->rng;
+  }
+
+  std::uint64_t now() const override {
+    return rt_.event_counter_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ThreadRuntime& rt_;
+  int self_;
+};
+
+ThreadRuntime::ThreadRuntime(int process_count, ThreadRuntimeOptions options)
+    : n_(process_count), options_(options) {
+  SNAPSTAB_CHECK(n_ >= 2);
+  Rng seeder(options_.seed);
+  nodes_.reserve(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    auto node = std::make_unique<Node>();
+    node->rng = seeder.fork(static_cast<std::uint64_t>(i) + 1);
+    nodes_.push_back(std::move(node));
+  }
+  mailboxes_.reserve(static_cast<std::size_t>(n_) * n_);
+  for (int i = 0; i < n_ * n_; ++i)
+    mailboxes_.push_back(
+        std::make_unique<Mailbox>(options_.mailbox_capacity));
+}
+
+ThreadRuntime::~ThreadRuntime() {
+  stop_.store(true);
+  for (auto& node : nodes_)
+    if (node->thread.joinable()) node->thread.join();
+}
+
+void ThreadRuntime::add_process(std::unique_ptr<sim::Process> p) {
+  SNAPSTAB_CHECK(p != nullptr);
+  for (auto& node : nodes_) {
+    if (node->process == nullptr) {
+      node->process = std::move(p);
+      return;
+    }
+  }
+  SNAPSTAB_CHECK_MSG(false, "more processes than runtime slots");
+}
+
+Mailbox& ThreadRuntime::mailbox_mut(int src, int dst) {
+  SNAPSTAB_CHECK(src != dst);
+  return *mailboxes_[static_cast<std::size_t>(src) * n_ + dst];
+}
+
+const Mailbox& ThreadRuntime::mailbox(int src, int dst) const {
+  SNAPSTAB_CHECK(src != dst);
+  return *mailboxes_[static_cast<std::size_t>(src) * n_ + dst];
+}
+
+void ThreadRuntime::thread_main(int p) {
+  auto& node = *nodes_[static_cast<std::size_t>(p)];
+  NodeContext ctx(*this, p);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard<std::mutex> lock(node.mu);
+      sim::Process& proc = *node.process;
+      // Drain at most one message per incident channel, unless busy in the
+      // critical section (a busy process receives nothing).
+      if (!proc.busy()) {
+        for (int ch = 0; ch < n_ - 1; ++ch) {
+          if (proc.busy()) break;  // the CS may start mid-drain? (it cannot
+                                   // — receives never start a CS — but stay
+                                   // defensive)
+          const int src = (p + 1 + ch) % n_;
+          if (auto m = mailbox_mut(src, p).try_pop())
+            proc.on_message(ctx, ch, *m);
+        }
+      }
+      if (proc.tick_enabled()) proc.on_tick(ctx);
+    }
+    if (options_.activation_pause.count() > 0)
+      std::this_thread::sleep_for(options_.activation_pause);
+    else
+      std::this_thread::yield();
+  }
+}
+
+bool ThreadRuntime::run(const std::function<bool()>& done,
+                        std::chrono::milliseconds timeout) {
+  SNAPSTAB_CHECK_MSG(!started_, "ThreadRuntime is one-shot");
+  for (const auto& node : nodes_)
+    SNAPSTAB_CHECK_MSG(node->process != nullptr,
+                       "install all processes before run()");
+  started_ = true;
+
+  for (int p = 0; p < n_; ++p)
+    nodes_[static_cast<std::size_t>(p)]->thread =
+        std::thread([this, p] { thread_main(p); });
+
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  bool ok = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) {
+      ok = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop_.store(true);
+  for (auto& node : nodes_)
+    if (node->thread.joinable()) node->thread.join();
+  return ok;
+}
+
+std::vector<sim::Observation> ThreadRuntime::observations() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return log_;
+}
+
+}  // namespace snapstab::runtime

@@ -1,0 +1,53 @@
+// adversary.hpp — a transient-fault injector for running systems.
+//
+// Snap-stabilization is a statement about what happens *after* a transient
+// fault: any request made once the fault ceases is served correctly. The
+// Adversary makes that testable as a process over time: strike() applies a
+// fresh burst of corruption (scrambled process states and/or garbage
+// channel contents) to a randomly chosen subset of the system, between
+// requests. The chaos test-suites alternate strike / request / verify for
+// many rounds — the empirical form of "withstands transient faults".
+#ifndef SNAPSTAB_SIM_ADVERSARY_HPP
+#define SNAPSTAB_SIM_ADVERSARY_HPP
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sim/fuzz.hpp"
+#include "sim/simulator.hpp"
+
+namespace snapstab::sim {
+
+struct AdversaryOptions {
+  // Per-strike probability that a given process's state is scrambled.
+  double process_probability = 0.5;
+  // Per-strike probability that a given channel is refilled with garbage.
+  double channel_probability = 0.5;
+  // Flag domain for fuzzed messages (the protocol's flag bound).
+  std::int32_t flag_limit = 4;
+};
+
+class Adversary {
+ public:
+  Adversary(std::uint64_t seed, AdversaryOptions options = {})
+      : rng_(seed), options_(options) {}
+
+  // Applies one burst of corruption. Returns the number of processes and
+  // channels hit (diagnostics for the chaos suites).
+  struct StrikeReport {
+    int processes_hit = 0;
+    int channels_hit = 0;
+  };
+  StrikeReport strike(Simulator& sim);
+
+  std::uint64_t strikes() const noexcept { return strikes_; }
+
+ private:
+  Rng rng_;
+  AdversaryOptions options_;
+  std::uint64_t strikes_ = 0;
+};
+
+}  // namespace snapstab::sim
+
+#endif  // SNAPSTAB_SIM_ADVERSARY_HPP

@@ -1,0 +1,30 @@
+#include "sim/channel.hpp"
+
+#include "common/check.hpp"
+
+namespace snapstab::sim {
+
+bool Channel::push(const Message& m) {
+  if (!unbounded() && queue_.size() >= capacity_) {
+    ++stats_.lost_on_full;
+    return false;
+  }
+  queue_.push_back(m);
+  ++stats_.pushed;
+  return true;
+}
+
+std::optional<Message> Channel::pop() {
+  if (queue_.empty()) return std::nullopt;
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  ++stats_.popped;
+  return m;
+}
+
+const Message& Channel::peek() const {
+  SNAPSTAB_CHECK(!queue_.empty());
+  return queue_.front();
+}
+
+}  // namespace snapstab::sim

@@ -1,0 +1,64 @@
+// channel.hpp — a FIFO, lossy, capacity-limited communication channel.
+//
+// Model (paper, Section 2 and Section 4):
+//  - channels are FIFO;
+//  - messages may be lost, but if infinitely many messages are sent,
+//    infinitely many are received (fair loss; realized by the scheduler);
+//  - in the bounded-capacity setting, *a message sent into a full channel is
+//    lost* (the channel content is unchanged).
+//
+// Capacity 0 encodes the unbounded channels of Section 3 (the impossibility
+// construction requires stuffing arbitrarily long message sequences).
+#ifndef SNAPSTAB_SIM_CHANNEL_HPP
+#define SNAPSTAB_SIM_CHANNEL_HPP
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "msg/message.hpp"
+
+namespace snapstab::sim {
+
+class Channel {
+ public:
+  static constexpr std::size_t kUnbounded = 0;
+
+  explicit Channel(std::size_t capacity = 1) : capacity_(capacity) {}
+
+  bool unbounded() const noexcept { return capacity_ == kUnbounded; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return queue_.size(); }
+  bool empty() const noexcept { return queue_.empty(); }
+
+  // Appends `m`; returns false (and leaves the channel unchanged) when the
+  // channel is full — the paper's send-into-full-channel loss rule.
+  bool push(const Message& m);
+
+  // Removes and returns the head message; nullopt when empty.
+  std::optional<Message> pop();
+
+  const Message& peek() const;  // requires !empty()
+
+  // Direct read access for checkers (e.g., Property 1 scans the remaining
+  // content of the initiator's incident channels).
+  const std::deque<Message>& contents() const noexcept { return queue_; }
+
+  void clear() { queue_.clear(); }
+
+  struct Stats {
+    std::uint64_t pushed = 0;        // messages accepted into the channel
+    std::uint64_t lost_on_full = 0;  // sends refused because the channel was full
+    std::uint64_t popped = 0;        // messages removed (delivered or lost)
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Message> queue_;
+  Stats stats_;
+};
+
+}  // namespace snapstab::sim
+
+#endif  // SNAPSTAB_SIM_CHANNEL_HPP

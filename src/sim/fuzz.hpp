@@ -1,0 +1,37 @@
+// fuzz.hpp — arbitrary initial configurations.
+//
+// The paper considers transition systems whose set of initial configurations
+// is the *whole* configuration space (I = C): any assignment of the process
+// variables over their domains and any channel content. fuzz() realizes
+// that: it redraws every process variable via Process::randomize and
+// pre-loads channels with arbitrary well-formed messages (up to capacity
+// for bounded channels). Snap-stabilization claims are then checked
+// against executions started from these configurations.
+#ifndef SNAPSTAB_SIM_FUZZ_HPP
+#define SNAPSTAB_SIM_FUZZ_HPP
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace snapstab::sim {
+
+struct FuzzOptions {
+  bool processes = true;   // randomize process states
+  bool channels = true;    // pre-load channel contents
+  double channel_fill = 0.75;  // probability a channel receives any content
+  // For unbounded channels, how many messages to stuff (bounded channels are
+  // filled up to their capacity).
+  int unbounded_messages = 4;
+  // Upper bound for fuzzed flag fields; pass the protocol's flag bound
+  // (2c + 2 for protocol PIF over capacity-c channels).
+  std::int32_t flag_limit = 4;
+  // Draw flags over the whole int32 range instead (defensive-coding tests).
+  bool wild_flags = false;
+};
+
+// Applies an arbitrary initial configuration in place.
+void fuzz(Simulator& sim, Rng& rng, const FuzzOptions& options = {});
+
+}  // namespace snapstab::sim
+
+#endif  // SNAPSTAB_SIM_FUZZ_HPP

@@ -1,0 +1,54 @@
+#include "sim/network.hpp"
+
+namespace snapstab::sim {
+
+Network::Network(int process_count, std::size_t capacity)
+    : n_(process_count), capacity_(capacity) {
+  SNAPSTAB_CHECK_MSG(n_ >= 2, "a network needs at least two processes");
+  channels_.reserve(static_cast<std::size_t>(n_) * n_);
+  for (int i = 0; i < n_ * n_; ++i) channels_.emplace_back(capacity_);
+}
+
+std::size_t Network::slot(ProcessId src, ProcessId dst) const {
+  SNAPSTAB_CHECK(src >= 0 && src < n_);
+  SNAPSTAB_CHECK(dst >= 0 && dst < n_);
+  SNAPSTAB_CHECK_MSG(src != dst, "no self channels in the model");
+  return static_cast<std::size_t>(src) * n_ + dst;
+}
+
+Channel& Network::channel(ProcessId src, ProcessId dst) {
+  return channels_[slot(src, dst)];
+}
+
+const Channel& Network::channel(ProcessId src, ProcessId dst) const {
+  return channels_[slot(src, dst)];
+}
+
+ProcessId Network::peer_of(ProcessId p, int local_index) const {
+  SNAPSTAB_CHECK(local_index >= 0 && local_index < degree());
+  return (p + 1 + local_index) % n_;
+}
+
+int Network::index_of(ProcessId p, ProcessId peer) const {
+  SNAPSTAB_CHECK(peer != p);
+  return (peer - p - 1 + n_) % n_;
+}
+
+std::vector<std::pair<ProcessId, ProcessId>> Network::nonempty_channels()
+    const {
+  std::vector<std::pair<ProcessId, ProcessId>> out;
+  for (int src = 0; src < n_; ++src)
+    for (int dst = 0; dst < n_; ++dst)
+      if (src != dst && !channel(src, dst).empty()) out.emplace_back(src, dst);
+  return out;
+}
+
+std::size_t Network::total_messages_in_flight() const {
+  std::size_t total = 0;
+  for (int src = 0; src < n_; ++src)
+    for (int dst = 0; dst < n_; ++dst)
+      if (src != dst) total += channel(src, dst).size();
+  return total;
+}
+
+}  // namespace snapstab::sim

@@ -1,0 +1,55 @@
+// network.hpp — the fully-connected topology of the paper.
+//
+// Any two distinct processes are joined by a bidirectional link, i.e., two
+// FIFO channels in opposite directions. Each process numbers its incident
+// channels locally; the paper numbers them 1..n-1, this implementation uses
+// 0-based local indices 0..n-2 (paper channel q corresponds to index q-1).
+// The mapping is the rotation
+//     peer_of(p, k)  = (p + 1 + k) mod n
+//     index_of(p, r) = (r - p - 1 + n) mod n
+// which gives every process a distinct local numbering, exactly as in the
+// paper's model (local numbers carry no global meaning).
+#ifndef SNAPSTAB_SIM_NETWORK_HPP
+#define SNAPSTAB_SIM_NETWORK_HPP
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/channel.hpp"
+#include "sim/observation.hpp"
+
+namespace snapstab::sim {
+
+class Network {
+ public:
+  // `capacity` applies to every channel; Channel::kUnbounded (0) gives the
+  // unbounded channels of the impossibility section.
+  Network(int process_count, std::size_t capacity);
+
+  int process_count() const noexcept { return n_; }
+  int degree() const noexcept { return n_ - 1; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  Channel& channel(ProcessId src, ProcessId dst);
+  const Channel& channel(ProcessId src, ProcessId dst) const;
+
+  // Local-index <-> global-id mapping (see file comment).
+  ProcessId peer_of(ProcessId p, int local_index) const;
+  int index_of(ProcessId p, ProcessId peer) const;
+
+  // All (src, dst) pairs with a non-empty channel, in deterministic order.
+  std::vector<std::pair<ProcessId, ProcessId>> nonempty_channels() const;
+
+  std::size_t total_messages_in_flight() const;
+
+ private:
+  std::size_t slot(ProcessId src, ProcessId dst) const;
+
+  int n_;
+  std::size_t capacity_;
+  std::vector<Channel> channels_;  // n*n slots, diagonal unused
+};
+
+}  // namespace snapstab::sim
+
+#endif  // SNAPSTAB_SIM_NETWORK_HPP

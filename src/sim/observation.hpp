@@ -1,0 +1,66 @@
+// observation.hpp — the observable event stream of an execution.
+//
+// The paper specifies protocols over *executions* (sequences of
+// configurations) via Start / Correctness / Termination / Decision
+// properties. The simulator therefore exposes an append-only stream of
+// protocol-level events (requests, starts, receive-brd / receive-fck,
+// decisions, critical-section entry/exit); the specification checkers in
+// core/specs.hpp validate the properties of Specifications 1-3 against this
+// stream.
+#ifndef SNAPSTAB_SIM_OBSERVATION_HPP
+#define SNAPSTAB_SIM_OBSERVATION_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "msg/value.hpp"
+
+namespace snapstab::sim {
+
+using ProcessId = int;
+
+// Which protocol layer emitted the event (one process runs a stack of
+// protocols: ME on top of IDL on top of PIF, as in the paper). Baseline is
+// used by the negative-result protocols, Service by the PIF-based services
+// (reset, termination detection).
+enum class Layer : std::uint8_t { Pif, Idl, Me, Baseline, Service };
+
+enum class ObsKind : std::uint8_t {
+  RequestWait,  // the application externally set Request := Wait
+  Start,        // starting action executed (Request: Wait -> In)
+  Decide,       // decision / termination (Request: In -> Done)
+  RecvBrd,      // "receive-brd<B> from q" event
+  RecvFck,      // "receive-fck<F> from q" event
+  CsEnter,      // process entered the critical section (ME)
+  CsExit,       // process left the critical section (ME)
+};
+
+const char* layer_name(Layer l) noexcept;
+const char* obs_kind_name(ObsKind k) noexcept;
+
+struct Observation {
+  std::uint64_t step = 0;  // simulator step at which the event occurred
+  ProcessId process = -1;  // global id of the emitting process
+  Layer layer = Layer::Pif;
+  ObsKind kind = ObsKind::Start;
+  int peer = -1;       // local channel index involved, or -1
+  Value value;         // payload involved (broadcast / feedback message)
+
+  std::string to_string() const;
+};
+
+class ObservationLog {
+ public:
+  void emit(Observation obs) { events_.push_back(std::move(obs)); }
+  const std::vector<Observation>& events() const noexcept { return events_; }
+  void clear() { events_.clear(); }
+  std::size_t size() const noexcept { return events_.size(); }
+
+ private:
+  std::vector<Observation> events_;
+};
+
+}  // namespace snapstab::sim
+
+#endif  // SNAPSTAB_SIM_OBSERVATION_HPP

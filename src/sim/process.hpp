@@ -1,0 +1,85 @@
+// process.hpp — the process abstraction of the paper's model.
+//
+// A process is a sequential deterministic machine executing guarded actions
+// atomically. The simulator activates a process in exactly two ways:
+//
+//   on_tick(ctx)        — execute every enabled *spontaneous* action (those
+//                         whose guard reads only local variables) once, in
+//                         the order of their appearance in the protocol text
+//                         (the paper's rule for simultaneously enabled
+//                         actions);
+//   on_message(ctx, ch, m) — execute the receive action for the message at
+//                         the head of local channel `ch`, atomically,
+//                         including any events it generates.
+//
+// Context is the capability set an action may use during its atomic step:
+// sending messages, emitting observations and (for randomized baselines)
+// drawing random bits. Everything else — including the decision of *when* a
+// process is activated — belongs to the scheduler.
+#ifndef SNAPSTAB_SIM_PROCESS_HPP
+#define SNAPSTAB_SIM_PROCESS_HPP
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "msg/message.hpp"
+#include "sim/observation.hpp"
+
+namespace snapstab::sim {
+
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  // Number of incident channels (n - 1 in the fully-connected topology).
+  virtual int degree() const = 0;
+
+  // Send `m` over local channel `channel_index` (0-based). If the channel is
+  // full the message is lost, per the bounded-capacity model. Returns
+  // whether the channel accepted the message — the paper's protocols are
+  // fire-and-forget and ignore it; application layers (e.g. the diffusing
+  // computations observed by the termination detector) may use it as
+  // backpressure. An accepted message can still be lost by the adversary.
+  virtual bool send(int channel_index, const Message& m) = 0;
+
+  // Emit a protocol-level event; `peer` is a local channel index or -1.
+  virtual void observe(Layer layer, ObsKind kind, int peer,
+                       const Value& value) = 0;
+
+  // Random bits for randomized protocols (seeded per process).
+  virtual Rng& rng() = 0;
+
+  // Current global step number (never used by the protocols themselves —
+  // only by observers; protocol determinism is required for replay).
+  virtual std::uint64_t now() const = 0;
+};
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  Process() = default;
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  virtual void on_tick(Context& ctx) = 0;
+  virtual void on_message(Context& ctx, int channel_index,
+                          const Message& m) = 0;
+
+  // True when at least one spontaneous action is enabled; lets schedulers
+  // skip no-op activations and detect quiescence.
+  virtual bool tick_enabled() const = 0;
+
+  // True while the process is busy in its critical section: the scheduler
+  // will not deliver messages to it (a process executes at most one atomic
+  // action at a time; a long CS models a slow process between receipts).
+  virtual bool busy() const { return false; }
+
+  // Fuzz hook: redraw every protocol variable uniformly over its declared
+  // domain — the paper's arbitrary initial configuration.
+  virtual void randomize(Rng& rng) = 0;
+};
+
+}  // namespace snapstab::sim
+
+#endif  // SNAPSTAB_SIM_PROCESS_HPP

@@ -1,0 +1,102 @@
+#include "sim/scheduler.hpp"
+
+#include "sim/simulator.hpp"
+
+namespace snapstab::sim {
+
+namespace {
+
+// Enabled Tick targets: processes with at least one enabled spontaneous
+// action (busy processes still tick — their CS countdown advances).
+std::vector<ProcessId> tickable(Simulator& sim) {
+  std::vector<ProcessId> out;
+  for (ProcessId p = 0; p < sim.process_count(); ++p)
+    if (sim.process(p).tick_enabled()) out.push_back(p);
+  return out;
+}
+
+// Deliverable channels: non-empty, and the receiver is not busy in its CS.
+std::vector<std::pair<ProcessId, ProcessId>> deliverable(Simulator& sim) {
+  auto pairs = sim.network().nonempty_channels();
+  std::erase_if(pairs, [&](const auto& pr) {
+    return sim.process(pr.second).busy();
+  });
+  return pairs;
+}
+
+}  // namespace
+
+RandomScheduler::RandomScheduler(std::uint64_t seed, LossOptions loss)
+    : rng_(seed), loss_(loss) {}
+
+std::optional<Step> RandomScheduler::next(Simulator& sim) {
+  const auto ticks = tickable(sim);
+  const auto chans = deliverable(sim);
+  const std::size_t total = ticks.size() + chans.size();
+  if (total == 0) return std::nullopt;
+
+  const auto pick = rng_.below(total);
+  if (pick < ticks.size()) return Step::tick(ticks[pick]);
+
+  const auto [src, dst] = chans[pick - ticks.size()];
+  int& streak = consecutive_losses_[{src, dst}];
+  if (loss_.rate > 0.0 && streak < loss_.max_consecutive &&
+      rng_.chance(loss_.rate)) {
+    ++streak;
+    return Step::lose(src, dst);
+  }
+  streak = 0;
+  return Step::deliver(src, dst);
+}
+
+RoundRobinScheduler::RoundRobinScheduler(std::uint64_t seed, LossOptions loss)
+    : rng_(seed), loss_(loss) {}
+
+void RoundRobinScheduler::refill(Simulator& sim) {
+  // One synchronous round: every tick-enabled process activates in id order,
+  // then every currently non-empty channel transmits once. Loss is sampled
+  // when the round is formed, subject to the fair-loss cap.
+  for (const ProcessId p : tickable(sim)) pending_.push_back(Step::tick(p));
+  for (const auto& [src, dst] : deliverable(sim)) {
+    int& streak = consecutive_losses_[{src, dst}];
+    if (loss_.rate > 0.0 && streak < loss_.max_consecutive &&
+        rng_.chance(loss_.rate)) {
+      ++streak;
+      pending_.push_back(Step::lose(src, dst));
+    } else {
+      streak = 0;
+      pending_.push_back(Step::deliver(src, dst));
+    }
+  }
+  if (!pending_.empty()) ++rounds_;
+}
+
+std::optional<Step> RoundRobinScheduler::next(Simulator& sim) {
+  while (true) {
+    if (pending_.empty()) refill(sim);
+    if (pending_.empty()) return std::nullopt;
+    Step step = pending_.front();
+    pending_.pop_front();
+    // Steps scheduled at round formation may have become stale (channel
+    // drained by the receiving action of an earlier delivery, process gone
+    // busy). Skip stale steps rather than executing no-ops.
+    switch (step.kind) {
+      case StepKind::Tick:
+        if (!sim.process(step.target).tick_enabled()) continue;
+        return step;
+      case StepKind::Deliver:
+      case StepKind::Lose:
+        if (sim.network().channel(step.src, step.target).empty()) continue;
+        if (step.kind == StepKind::Deliver && sim.process(step.target).busy())
+          continue;
+        return step;
+    }
+  }
+}
+
+std::optional<Step> ScriptedScheduler::next(Simulator&) {
+  if (pos_ >= script_.size()) return std::nullopt;
+  return script_[pos_++];
+}
+
+}  // namespace snapstab::sim

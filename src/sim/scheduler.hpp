@@ -1,0 +1,112 @@
+// scheduler.hpp — activation orders (the "daemon") and the loss adversary.
+//
+// The paper's executions are maximal sequences of steps chosen by an
+// adversarial environment subject to fair loss. Three schedulers realize
+// three useful adversaries:
+//
+//   RandomScheduler     — uniformly random enabled step each time, with a
+//                         probabilistic message-loss adversary capped by a
+//                         maximum number of consecutive losses per channel
+//                         (so finite runs keep the fair-loss guarantee);
+//   RoundRobinScheduler — synchronous rounds: every process ticks, then
+//                         every non-empty channel delivers once; yields the
+//                         round-complexity metric used in the experiments;
+//   ScriptedScheduler   — replays an explicit step list; used by the
+//                         Figure-1 worst case and the Theorem-1 construction.
+#ifndef SNAPSTAB_SIM_SCHEDULER_HPP
+#define SNAPSTAB_SIM_SCHEDULER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/observation.hpp"
+
+namespace snapstab::sim {
+
+class Simulator;
+
+enum class StepKind : std::uint8_t {
+  Tick,     // activate process `target`: run its enabled spontaneous actions
+  Deliver,  // deliver head of channel src -> target
+  Lose,     // drop head of channel src -> target (loss adversary)
+};
+
+struct Step {
+  StepKind kind = StepKind::Tick;
+  ProcessId target = 0;  // process being activated / receiving
+  ProcessId src = -1;    // sending endpoint for Deliver / Lose
+
+  static Step tick(ProcessId p) { return {StepKind::Tick, p, -1}; }
+  static Step deliver(ProcessId src, ProcessId dst) {
+    return {StepKind::Deliver, dst, src};
+  }
+  static Step lose(ProcessId src, ProcessId dst) {
+    return {StepKind::Lose, dst, src};
+  }
+
+  bool operator==(const Step&) const = default;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  // Chooses the next step; nullopt when no step is enabled (quiescence) or,
+  // for scripted schedules, when the script is exhausted.
+  virtual std::optional<Step> next(Simulator& sim) = 0;
+};
+
+struct LossOptions {
+  double rate = 0.0;  // probability that a chosen delivery is lost instead
+  // Fair-loss cap: after this many consecutive losses on one channel the
+  // next chosen transmission on it is forcibly delivered.
+  int max_consecutive = 8;
+};
+
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed, LossOptions loss = {});
+  std::optional<Step> next(Simulator& sim) override;
+
+ private:
+  Rng rng_;
+  LossOptions loss_;
+  std::map<std::pair<ProcessId, ProcessId>, int> consecutive_losses_;
+};
+
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  explicit RoundRobinScheduler(std::uint64_t seed, LossOptions loss = {});
+  std::optional<Step> next(Simulator& sim) override;
+
+  std::uint64_t rounds() const noexcept { return rounds_; }
+
+ private:
+  void refill(Simulator& sim);
+
+  Rng rng_;
+  LossOptions loss_;
+  std::deque<Step> pending_;
+  std::map<std::pair<ProcessId, ProcessId>, int> consecutive_losses_;
+  std::uint64_t rounds_ = 0;
+};
+
+class ScriptedScheduler final : public Scheduler {
+ public:
+  explicit ScriptedScheduler(std::vector<Step> script)
+      : script_(std::move(script)) {}
+  std::optional<Step> next(Simulator& sim) override;
+
+  std::size_t position() const noexcept { return pos_; }
+
+ private:
+  std::vector<Step> script_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace snapstab::sim
+
+#endif  // SNAPSTAB_SIM_SCHEDULER_HPP

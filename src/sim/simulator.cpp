@@ -1,0 +1,157 @@
+#include "sim/simulator.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace snapstab::sim {
+
+// Binds a Context to (simulator, acting process). Constructed on the stack
+// for the duration of one atomic action.
+class SimContext final : public Context {
+ public:
+  SimContext(Simulator& sim, ProcessId self) : sim_(sim), self_(self) {}
+
+  int degree() const override { return sim_.network_.degree(); }
+
+  bool send(int channel_index, const Message& m) override {
+    const ProcessId dst = sim_.network_.peer_of(self_, channel_index);
+    ++sim_.metrics_.sends;
+    if (!sim_.network_.channel(self_, dst).push(m)) {
+      ++sim_.metrics_.sends_lost_full;
+      return false;
+    }
+    return true;
+  }
+
+  void observe(Layer layer, ObsKind kind, int peer,
+               const Value& value) override {
+    sim_.log_.emit(Observation{sim_.metrics_.steps, self_, layer, kind, peer,
+                               value});
+  }
+
+  Rng& rng() override { return sim_.process_rngs_[static_cast<std::size_t>(self_)]; }
+
+  std::uint64_t now() const override { return sim_.metrics_.steps; }
+
+ private:
+  Simulator& sim_;
+  ProcessId self_;
+};
+
+Simulator::Simulator(int process_count, std::size_t channel_capacity,
+                     std::uint64_t seed)
+    : network_(process_count, channel_capacity) {
+  Rng seeder(seed);
+  processes_.reserve(static_cast<std::size_t>(process_count));
+  process_rngs_.reserve(static_cast<std::size_t>(process_count));
+  for (int i = 0; i < process_count; ++i)
+    process_rngs_.push_back(seeder.fork(static_cast<std::uint64_t>(i) + 1));
+}
+
+void Simulator::add_process(std::unique_ptr<Process> p) {
+  SNAPSTAB_CHECK(p != nullptr);
+  SNAPSTAB_CHECK_MSG(
+      processes_.size() < static_cast<std::size_t>(network_.process_count()),
+      "more processes than network endpoints");
+  processes_.push_back(std::move(p));
+}
+
+Process& Simulator::process(ProcessId p) {
+  SNAPSTAB_CHECK(p >= 0 && static_cast<std::size_t>(p) < processes_.size());
+  return *processes_[static_cast<std::size_t>(p)];
+}
+
+const Process& Simulator::process(ProcessId p) const {
+  SNAPSTAB_CHECK(p >= 0 && static_cast<std::size_t>(p) < processes_.size());
+  return *processes_[static_cast<std::size_t>(p)];
+}
+
+void Simulator::set_scheduler(std::unique_ptr<Scheduler> s) {
+  scheduler_ = std::move(s);
+}
+
+bool Simulator::execute(const Step& step) {
+  SNAPSTAB_CHECK_MSG(
+      processes_.size() == static_cast<std::size_t>(network_.process_count()),
+      "install all processes before stepping");
+  ++metrics_.steps;
+  switch (step.kind) {
+    case StepKind::Tick: {
+      Process& p = process(step.target);
+      ++metrics_.ticks;
+      SimContext ctx(*this, step.target);
+      p.on_tick(ctx);
+      if (recording_)
+        recorded_activations_[static_cast<std::size_t>(step.target)].push_back(
+            Activation{StepKind::Tick, -1, Message{}});
+      return true;
+    }
+    case StepKind::Deliver: {
+      Channel& ch = network_.channel(step.src, step.target);
+      auto msg = ch.pop();
+      if (!msg.has_value()) return false;
+      Process& p = process(step.target);
+      SNAPSTAB_CHECK_MSG(!p.busy(),
+                         "scheduler delivered to a process busy in its CS");
+      ++metrics_.deliveries;
+      const int index = network_.index_of(step.target, step.src);
+      if (recording_) {
+        recorded_activations_[static_cast<std::size_t>(step.target)].push_back(
+            Activation{StepKind::Deliver, index, *msg});
+        recorded_deliveries_[static_cast<std::size_t>(step.src) *
+                                 network_.process_count() +
+                             step.target]
+            .push_back(*msg);
+      }
+      SimContext ctx(*this, step.target);
+      p.on_message(ctx, index, *msg);
+      return true;
+    }
+    case StepKind::Lose: {
+      Channel& ch = network_.channel(step.src, step.target);
+      auto msg = ch.pop();
+      if (!msg.has_value()) return false;
+      ++metrics_.adversary_losses;
+      return true;
+    }
+  }
+  return false;
+}
+
+Simulator::StopReason Simulator::run(
+    std::uint64_t max_steps, const std::function<bool(Simulator&)>& stop) {
+  SNAPSTAB_CHECK_MSG(scheduler_ != nullptr, "no scheduler installed");
+  if (stop && stop(*this)) return StopReason::Predicate;
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    auto step = scheduler_->next(*this);
+    if (!step.has_value()) return StopReason::Quiescent;
+    execute(*step);
+    if (stop && stop(*this)) return StopReason::Predicate;
+  }
+  return StopReason::BudgetExhausted;
+}
+
+void Simulator::enable_recording() {
+  recording_ = true;
+  recorded_activations_.assign(
+      static_cast<std::size_t>(network_.process_count()), {});
+  recorded_deliveries_.assign(static_cast<std::size_t>(
+                                  network_.process_count()) *
+                                  network_.process_count(),
+                              {});
+}
+
+const std::vector<Activation>& Simulator::activations(ProcessId p) const {
+  SNAPSTAB_CHECK(recording_);
+  return recorded_activations_[static_cast<std::size_t>(p)];
+}
+
+const std::vector<Message>& Simulator::delivered(ProcessId src,
+                                                 ProcessId dst) const {
+  SNAPSTAB_CHECK(recording_);
+  return recorded_deliveries_[static_cast<std::size_t>(src) *
+                                  network_.process_count() +
+                              dst];
+}
+
+}  // namespace snapstab::sim

@@ -1,0 +1,105 @@
+// simulator.hpp — discrete-event execution of the transition system.
+//
+// A Simulator owns the network, the processes and the observation log; a
+// Scheduler chooses steps, the Simulator executes them. Every source of
+// nondeterminism is seeded, so any execution is reproducible from
+// (code, seed, initial configuration).
+//
+// The simulator can also *record* executions: per-process activation
+// sequences (ticks and received messages in order). Recording is what makes
+// the Theorem-1 impossibility construction executable — record the bad
+// factor, stuff the recorded message sequences into the channels of a fresh
+// initial configuration, replay each process's activations verbatim.
+#ifndef SNAPSTAB_SIM_SIMULATOR_HPP
+#define SNAPSTAB_SIM_SIMULATOR_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/process.hpp"
+#include "sim/scheduler.hpp"
+
+namespace snapstab::sim {
+
+struct Metrics {
+  std::uint64_t steps = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t adversary_losses = 0;
+  std::uint64_t sends = 0;          // send attempts by processes
+  std::uint64_t sends_lost_full = 0;  // attempts refused by a full channel
+};
+
+// One entry of a recorded per-process activation sequence.
+struct Activation {
+  StepKind kind = StepKind::Tick;  // Tick or Deliver
+  int channel_index = -1;          // local index of the sender for Deliver
+  Message message;                 // the delivered message for Deliver
+};
+
+class Simulator {
+ public:
+  Simulator(int process_count, std::size_t channel_capacity,
+            std::uint64_t seed);
+
+  // Process installation; exactly `process_count` processes must be added
+  // before the first step. The simulator owns them.
+  void add_process(std::unique_ptr<Process> p);
+  int process_count() const noexcept { return network_.process_count(); }
+
+  Process& process(ProcessId p);
+  const Process& process(ProcessId p) const;
+  template <typename T>
+  T& process_as(ProcessId p) {
+    return dynamic_cast<T&>(process(p));
+  }
+
+  Network& network() noexcept { return network_; }
+  const Network& network() const noexcept { return network_; }
+  ObservationLog& log() noexcept { return log_; }
+  const ObservationLog& log() const noexcept { return log_; }
+  Metrics& metrics() noexcept { return metrics_; }
+  const Metrics& metrics() const noexcept { return metrics_; }
+  std::uint64_t step_count() const noexcept { return metrics_.steps; }
+
+  void set_scheduler(std::unique_ptr<Scheduler> s);
+  Scheduler* scheduler() noexcept { return scheduler_.get(); }
+
+  // Executes one explicit step. Returns false when the step was a no-op
+  // (e.g., delivering from an empty channel); the step still counts.
+  bool execute(const Step& step);
+
+  enum class StopReason { Predicate, Quiescent, BudgetExhausted };
+
+  // Runs until `stop` holds (checked after every step), the scheduler finds
+  // no enabled step, or `max_steps` further steps have been executed.
+  StopReason run(std::uint64_t max_steps,
+                 const std::function<bool(Simulator&)>& stop = {});
+
+  // --- recording (Theorem-1 machinery) ---
+  void enable_recording();
+  const std::vector<Activation>& activations(ProcessId p) const;
+  // Messages delivered over the channel src -> dst, in delivery order.
+  const std::vector<Message>& delivered(ProcessId src, ProcessId dst) const;
+
+ private:
+  friend class SimContext;
+
+  Network network_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Rng> process_rngs_;
+  ObservationLog log_;
+  Metrics metrics_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  bool recording_ = false;
+  std::vector<std::vector<Activation>> recorded_activations_;
+  std::vector<std::vector<Message>> recorded_deliveries_;  // slot src*n+dst
+};
+
+}  // namespace snapstab::sim
+
+#endif  // SNAPSTAB_SIM_SIMULATOR_HPP

@@ -1,0 +1,30 @@
+// timeline.hpp — human-readable rendering of an execution's event stream.
+//
+// Turns the observation log into the kind of step-by-step timeline the
+// paper's Figure 1 shows: one row per protocol event, with the emitting
+// process, layer, peer and payload. Used by the experiment binaries and
+// by anyone debugging an adversarial schedule.
+#ifndef SNAPSTAB_SIM_TIMELINE_HPP
+#define SNAPSTAB_SIM_TIMELINE_HPP
+
+#include <optional>
+#include <string>
+
+#include "sim/observation.hpp"
+
+namespace snapstab::sim {
+
+struct TimelineOptions {
+  std::optional<Layer> layer;        // only this layer (default: all)
+  std::optional<ProcessId> process;  // only this process (default: all)
+  std::size_t max_rows = 200;        // truncate long executions
+};
+
+// Renders the filtered log as an aligned text table; notes how many rows
+// were omitted when truncation kicks in.
+std::string render_timeline(const ObservationLog& log,
+                            const TimelineOptions& options = {});
+
+}  // namespace snapstab::sim
+
+#endif  // SNAPSTAB_SIM_TIMELINE_HPP

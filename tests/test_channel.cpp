@@ -1,0 +1,104 @@
+// test_channel.cpp — channel semantics: FIFO order, bounded capacity with
+// loss-on-full (the paper's Section-4 rule), unbounded mode for Section 3.
+#include <gtest/gtest.h>
+
+#include "sim/channel.hpp"
+
+namespace snapstab::sim {
+namespace {
+
+Message msg(int tag) { return Message::pif(Value::integer(tag), Value::none(), 0, 0); }
+
+TEST(Channel, StartsEmpty) {
+  Channel ch(1);
+  EXPECT_TRUE(ch.empty());
+  EXPECT_EQ(ch.size(), 0u);
+  EXPECT_FALSE(ch.pop().has_value());
+}
+
+TEST(Channel, FifoOrder) {
+  Channel ch(5);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ch.push(msg(i)));
+  for (int i = 0; i < 5; ++i) {
+    auto m = ch.pop();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->b.as_int(), i);
+  }
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, SendIntoFullChannelLosesTheSentMessage) {
+  // The paper: "if a process sends a message in a channel that is full,
+  // then the message is lost" — the channel content is unchanged.
+  Channel ch(1);
+  EXPECT_TRUE(ch.push(msg(1)));
+  EXPECT_FALSE(ch.push(msg(2)));
+  EXPECT_EQ(ch.size(), 1u);
+  auto m = ch.pop();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->b.as_int(), 1);  // the old message survived, the new one died
+  EXPECT_EQ(ch.stats().lost_on_full, 1u);
+}
+
+TEST(Channel, CapacityGreaterThanOne) {
+  Channel ch(3);
+  EXPECT_TRUE(ch.push(msg(1)));
+  EXPECT_TRUE(ch.push(msg(2)));
+  EXPECT_TRUE(ch.push(msg(3)));
+  EXPECT_FALSE(ch.push(msg(4)));
+  EXPECT_EQ(ch.size(), 3u);
+  ch.pop();
+  EXPECT_TRUE(ch.push(msg(5)));  // space freed, accepts again
+}
+
+TEST(Channel, UnboundedNeverRefuses) {
+  Channel ch(Channel::kUnbounded);
+  EXPECT_TRUE(ch.unbounded());
+  for (int i = 0; i < 10000; ++i) ASSERT_TRUE(ch.push(msg(i)));
+  EXPECT_EQ(ch.size(), 10000u);
+  EXPECT_EQ(ch.stats().lost_on_full, 0u);
+}
+
+TEST(Channel, PeekDoesNotConsume) {
+  Channel ch(2);
+  ch.push(msg(7));
+  EXPECT_EQ(ch.peek().b.as_int(), 7);
+  EXPECT_EQ(ch.size(), 1u);
+  EXPECT_EQ(ch.pop()->b.as_int(), 7);
+}
+
+TEST(Channel, ContentsExposeQueueInOrder) {
+  Channel ch(3);
+  ch.push(msg(1));
+  ch.push(msg(2));
+  const auto& q = ch.contents();
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q[0].b.as_int(), 1);
+  EXPECT_EQ(q[1].b.as_int(), 2);
+}
+
+TEST(Channel, ClearEmptiesWithoutCountingPops) {
+  Channel ch(3);
+  ch.push(msg(1));
+  ch.push(msg(2));
+  ch.clear();
+  EXPECT_TRUE(ch.empty());
+  EXPECT_EQ(ch.stats().popped, 0u);
+  EXPECT_EQ(ch.stats().pushed, 2u);
+}
+
+TEST(Channel, StatsCountAllTraffic) {
+  Channel ch(1);
+  ch.push(msg(1));
+  ch.push(msg(2));  // lost on full
+  ch.pop();
+  ch.push(msg(3));
+  ch.pop();
+  const auto& st = ch.stats();
+  EXPECT_EQ(st.pushed, 2u);
+  EXPECT_EQ(st.lost_on_full, 1u);
+  EXPECT_EQ(st.popped, 2u);
+}
+
+}  // namespace
+}  // namespace snapstab::sim

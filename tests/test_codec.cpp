@@ -1,0 +1,106 @@
+// test_codec.cpp — binary wire format: round trips and hostile inputs.
+#include <gtest/gtest.h>
+
+#include "msg/codec.hpp"
+
+namespace snapstab {
+namespace {
+
+TEST(Codec, RoundTripsEveryMessageKind) {
+  const Message cases[] = {
+      Message::pif(Value::text("how old are you?"), Value::integer(33), 3, 2),
+      Message::pif(Value::none(), Value::none(), 0, 0),
+      Message::naive_brd(Value::token(Token::Ask)),
+      Message::naive_fck(Value::integer(-1)),
+      Message::seq_brd(Value::text(""), 7),
+      Message::seq_fck(Value::token(Token::Yes), 15),
+  };
+  for (const auto& m : cases) {
+    const auto bytes = encode(m);
+    const auto back = decode(bytes);
+    ASSERT_TRUE(back.has_value()) << m.to_string();
+    EXPECT_EQ(*back, m) << m.to_string();
+  }
+}
+
+TEST(Codec, RoundTripsRandomMessages) {
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const Message m = Message::random(rng, 10, /*wild=*/(i % 2) == 0);
+    const auto back = decode(encode(m));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST(Codec, RejectsEmptyInput) {
+  EXPECT_FALSE(decode(nullptr, 0).has_value());
+}
+
+TEST(Codec, RejectsTruncatedInput) {
+  const auto bytes =
+      encode(Message::pif(Value::text("payload"), Value::integer(5), 1, 2));
+  for (std::size_t len = 0; len < bytes.size(); ++len)
+    EXPECT_FALSE(decode(bytes.data(), len).has_value()) << "len=" << len;
+}
+
+TEST(Codec, RejectsTrailingGarbage) {
+  auto bytes = encode(Message::naive_brd(Value::none()));
+  bytes.push_back(0xAB);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsUnknownKind) {
+  auto bytes = encode(Message::naive_brd(Value::none()));
+  bytes[0] = 0xFF;
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsUnknownValueTag) {
+  auto bytes = encode(Message::naive_brd(Value::none()));
+  // Byte layout: kind(1) state(4) neig(4) then value b's tag.
+  bytes[9] = 0x77;
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsOutOfRangeToken) {
+  auto bytes = encode(Message::naive_brd(Value::token(Token::No)));
+  bytes[10] = 0x7F;  // token payload byte
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsOversizedTextLength) {
+  auto bytes = encode(Message::naive_brd(Value::text("abc")));
+  // Text length field sits right after the tag at offset 9.
+  bytes[10] = 0xFF;
+  bytes[11] = 0xFF;
+  bytes[12] = 0xFF;
+  bytes[13] = 0x7F;
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, FuzzedBytesNeverCrash) {
+  // decode() must be total: arbitrary bytes either parse or return nullopt.
+  Rng rng(1234);
+  int accepted = 0;
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<std::uint8_t> bytes(rng.below(40));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+    if (decode(bytes).has_value()) ++accepted;
+  }
+  // Random bytes almost never form a valid message, but a few short forms
+  // (e.g. kind + flags + two none-values) can; just require no crash and a
+  // low acceptance rate.
+  EXPECT_LT(accepted, 2000);
+}
+
+TEST(Codec, EncodedSizeIsModest) {
+  // Single-capacity channels move one message at a time; keep datagrams
+  // small (sanity bound, not a format guarantee).
+  const auto bytes =
+      encode(Message::pif(Value::token(Token::Ask), Value::none(), 4, 4));
+  EXPECT_LE(bytes.size(), 16u);
+}
+
+}  // namespace
+}  // namespace snapstab

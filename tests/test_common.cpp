@@ -1,0 +1,69 @@
+// test_common.cpp — TextTable rendering and CliArgs parsing.
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+namespace snapstab {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", TextTable::cell(1)});
+  t.add_row({"very-long-name", TextTable::cell(2.5)});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("very-long-name"), std::string::npos);
+  EXPECT_NE(out.find("2.50"), std::string::npos);
+  // Header + separator + 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("x"), std::string::npos);
+}
+
+TEST(TextTable, CellFormatting) {
+  EXPECT_EQ(TextTable::cell(static_cast<std::int64_t>(-7)), "-7");
+  EXPECT_EQ(TextTable::cell(static_cast<std::uint64_t>(7)), "7");
+  EXPECT_EQ(TextTable::cell(3.14159, 3), "3.142");
+  EXPECT_EQ(TextTable::cell("text"), "text");
+}
+
+TEST(CliArgs, ParsesSeparatedAndEqualsForms) {
+  const char* argv[] = {"prog", "--n", "8", "--loss=0.25", "--verbose"};
+  CliArgs args(5, argv, {"n", "loss", "verbose"});
+  EXPECT_EQ(args.get_int("n", 0), 8);
+  EXPECT_DOUBLE_EQ(args.get_double("loss", 0.0), 0.25);
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_FALSE(args.get_bool("absent"));
+  EXPECT_EQ(args.get_int("absent", 42), 42);
+}
+
+TEST(CliArgs, PositionalArguments) {
+  const char* argv[] = {"prog", "pos1", "--n", "2", "pos2"};
+  CliArgs args(5, argv, {"n"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.positional()[1], "pos2");
+}
+
+TEST(CliArgs, BooleanFlagBeforeAnotherOption) {
+  const char* argv[] = {"prog", "--verbose", "--n", "3"};
+  CliArgs args(4, argv, {"n", "verbose"});
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_EQ(args.get_int("n", 0), 3);
+}
+
+TEST(CliArgs, UnknownOptionAborts) {
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_EXIT(
+      { CliArgs args(3, argv, {"n"}); },
+      ::testing::ExitedWithCode(2), "unknown option --bogus");
+}
+
+}  // namespace
+}  // namespace snapstab

@@ -1,0 +1,72 @@
+// test_network.cpp — fully-connected topology and local channel numbering.
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+
+namespace snapstab::sim {
+namespace {
+
+TEST(Network, DegreeAndCounts) {
+  Network net(5, 1);
+  EXPECT_EQ(net.process_count(), 5);
+  EXPECT_EQ(net.degree(), 4);
+  EXPECT_EQ(net.capacity(), 1u);
+}
+
+TEST(Network, LocalIndexingIsABijection) {
+  // For every process, local indices 0..n-2 map onto all other processes,
+  // and index_of inverts peer_of — the paper's local channel numbering.
+  for (int n : {2, 3, 4, 7}) {
+    Network net(n, 1);
+    for (int p = 0; p < n; ++p) {
+      std::vector<bool> covered(static_cast<std::size_t>(n), false);
+      for (int k = 0; k < n - 1; ++k) {
+        const int peer = net.peer_of(p, k);
+        EXPECT_NE(peer, p);
+        EXPECT_FALSE(covered[static_cast<std::size_t>(peer)]);
+        covered[static_cast<std::size_t>(peer)] = true;
+        EXPECT_EQ(net.index_of(p, peer), k);
+      }
+      covered[static_cast<std::size_t>(p)] = true;
+      EXPECT_TRUE(std::all_of(covered.begin(), covered.end(),
+                              [](bool c) { return c; }));
+    }
+  }
+}
+
+TEST(Network, LocalNumbersAreLocal) {
+  // The channel number of p at q generally differs from q at p.
+  Network net(3, 1);
+  const int idx01 = net.index_of(0, 1);
+  const int idx10 = net.index_of(1, 0);
+  EXPECT_EQ(idx01, 0);
+  EXPECT_EQ(idx10, 1);
+}
+
+TEST(Network, ChannelsAreDirectional) {
+  Network net(2, 1);
+  net.channel(0, 1).push(Message::naive_brd(Value::integer(1)));
+  EXPECT_EQ(net.channel(0, 1).size(), 1u);
+  EXPECT_TRUE(net.channel(1, 0).empty());
+}
+
+TEST(Network, NonemptyChannelsTracksContent) {
+  Network net(3, 1);
+  EXPECT_TRUE(net.nonempty_channels().empty());
+  net.channel(0, 2).push(Message::naive_brd(Value::none()));
+  net.channel(2, 1).push(Message::naive_brd(Value::none()));
+  const auto pairs = net.nonempty_channels();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (std::pair<ProcessId, ProcessId>{0, 2}));
+  EXPECT_EQ(pairs[1], (std::pair<ProcessId, ProcessId>{2, 1}));
+  EXPECT_EQ(net.total_messages_in_flight(), 2u);
+}
+
+TEST(Network, UnboundedCapacityPropagates) {
+  Network net(2, Channel::kUnbounded);
+  EXPECT_TRUE(net.channel(0, 1).unbounded());
+  EXPECT_TRUE(net.channel(1, 0).unbounded());
+}
+
+}  // namespace
+}  // namespace snapstab::sim

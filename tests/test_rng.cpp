@@ -1,0 +1,132 @@
+// test_rng.cpp — seeded RNG: determinism, bounds, fork independence.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace snapstab {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all seven values hit
+}
+
+TEST(Rng, RangeSingleton) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.range(5, 5), 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / 50000, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng parent1(23);
+  Rng parent2(23);
+  Rng childa = parent1.fork(1);
+  Rng childb = parent2.fork(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(childa.next(), childb.next());
+
+  Rng parent3(23);
+  Rng other = parent3.fork(2);
+  Rng childc = Rng(23).fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (other.next() == childc.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BitUniformitySmoke) {
+  // Each of the 64 bit positions should be set roughly half the time.
+  Rng rng(29);
+  std::array<int, 64> counts{};
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    const std::uint64_t v = rng.next();
+    for (int bit = 0; bit < 64; ++bit)
+      if ((v >> bit) & 1ull) ++counts[static_cast<std::size_t>(bit)];
+  }
+  for (int bit = 0; bit < 64; ++bit)
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<std::size_t>(bit)]) /
+                    samples,
+                0.5, 0.03)
+        << "bit " << bit;
+}
+
+TEST(Rng, SplitMix64KnownSequenceIsStable) {
+  // Regression: the seeding path must stay stable across refactors, or every
+  // seeded experiment in EXPERIMENTS.md silently changes.
+  std::uint64_t s = 0;
+  const std::uint64_t first = splitmix64(s);
+  const std::uint64_t second = splitmix64(s);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), first);
+  EXPECT_EQ(splitmix64(s2), second);
+  EXPECT_NE(first, second);
+}
+
+}  // namespace
+}  // namespace snapstab

@@ -1,0 +1,222 @@
+// test_runtime.cpp — the thread runtime: the same protocol objects under
+// real concurrency, bounded lossy mailboxes and the binary wire format.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "core/stack.hpp"
+#include "runtime/thread_runtime.hpp"
+
+namespace snapstab::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Mailbox, PushPopRoundTripsThroughCodec) {
+  Mailbox box(2);
+  const Message m = Message::pif(Value::text("payload"), Value::integer(3),
+                                 2, 1);
+  EXPECT_TRUE(box.try_push(m));
+  const auto out = box.try_pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, m);
+}
+
+TEST(Mailbox, FullMailboxLosesTheSentMessage) {
+  Mailbox box(1);
+  EXPECT_TRUE(box.try_push(Message::naive_brd(Value::integer(1))));
+  EXPECT_FALSE(box.try_push(Message::naive_brd(Value::integer(2))));
+  EXPECT_EQ(box.try_pop()->b.as_int(), 1);
+  EXPECT_FALSE(box.try_pop().has_value());
+  EXPECT_EQ(box.stats().lost_on_full, 1u);
+}
+
+TEST(Mailbox, FifoAcrossCapacity) {
+  Mailbox box(3);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_TRUE(box.try_push(Message::naive_brd(Value::integer(i))));
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(box.try_pop()->b.as_int(), i);
+}
+
+TEST(ThreadRuntime, PifCompletesUnderRealConcurrency) {
+  const int n = 4;
+  ThreadRuntime rt(n, {.seed = 5});
+  for (int i = 0; i < n; ++i)
+    rt.add_process(std::make_unique<core::PifProcess>(n - 1, 1));
+  rt.with_process<core::PifProcess>(0, [](core::PifProcess& p) {
+    p.pif().request(Value::text("threaded"));
+    return 0;
+  });
+  const bool ok = rt.run(
+      [&rt] {
+        return rt.with_process<core::PifProcess>(
+            0, [](core::PifProcess& p) { return p.pif().done(); });
+      },
+      10s);
+  EXPECT_TRUE(ok) << "PIF did not complete on the thread runtime";
+
+  // Every peer generated the receive-brd event for the payload.
+  int brd = 0;
+  for (const auto& e : rt.observations())
+    if (e.kind == sim::ObsKind::RecvBrd && e.value == Value::text("threaded"))
+      ++brd;
+  EXPECT_EQ(brd, n - 1);
+}
+
+TEST(ThreadRuntime, PifSurvivesInjectedLoss) {
+  const int n = 3;
+  ThreadRuntime rt(n, {.loss_rate = 0.3, .seed = 7});
+  for (int i = 0; i < n; ++i)
+    rt.add_process(std::make_unique<core::PifProcess>(n - 1, 1));
+  rt.with_process<core::PifProcess>(1, [](core::PifProcess& p) {
+    p.pif().request(Value::text("lossy"));
+    return 0;
+  });
+  EXPECT_TRUE(rt.run(
+      [&rt] {
+        return rt.with_process<core::PifProcess>(
+            1, [](core::PifProcess& p) { return p.pif().done(); });
+      },
+      20s));
+}
+
+TEST(ThreadRuntime, MutualExclusionHoldsWithAtomicWitness) {
+  // The CS body increments an occupancy counter; any overlap of requested
+  // critical sections would be visible as occupancy > 1.
+  const int n = 3;
+  ThreadRuntime rt(n, {.seed = 11});
+  std::atomic<int> occupancy{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> grants{0};
+  for (int i = 0; i < n; ++i) {
+    core::StackOptions opts;
+    opts.me.cs_length = 3;
+    opts.me.cs_body = [&occupancy, &peak, &grants] {
+      const int now = occupancy.fetch_add(1) + 1;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      occupancy.fetch_sub(1);
+      grants.fetch_add(1);
+    };
+    rt.add_process(
+        std::make_unique<core::MeStackProcess>(100 + i, n - 1, opts));
+  }
+  for (int i = 0; i < n; ++i)
+    rt.with_process<core::MeStackProcess>(i, [](core::MeStackProcess& s) {
+      return s.me().request_cs();
+    });
+  const bool ok = rt.run([&grants, n] { return grants.load() >= n; }, 30s);
+  EXPECT_TRUE(ok) << "not every request was served";
+  EXPECT_EQ(peak.load(), 1) << "two critical sections overlapped";
+}
+
+TEST(ThreadRuntime, FuzzedInitialStatesStillServeRequests) {
+  const int n = 3;
+  ThreadRuntime rt(n, {.seed = 13});
+  Rng rng(131);
+  for (int i = 0; i < n; ++i) {
+    auto proc = std::make_unique<core::MeStackProcess>(10 * (i + 1), n - 1);
+    proc->randomize(rng);
+    proc->me().mutable_state().cs_remaining = 0;  // no ghost CS: finite test
+    rt.add_process(std::move(proc));
+  }
+  // Submit the request once the fuzzed ghost computation drains.
+  std::atomic<bool> requested{false};
+  const bool ok = rt.run(
+      [&rt, &requested] {
+        return rt.with_process<core::MeStackProcess>(
+            0, [&requested](core::MeStackProcess& s) {
+              if (!requested.load() &&
+                  s.me().request_state() == core::RequestState::Done) {
+                s.me().request_cs();
+                requested.store(true);
+                return false;
+              }
+              return requested.load() && s.me().request_state() ==
+                                             core::RequestState::Done &&
+                     !s.me().state().externally_requested;
+            });
+      },
+      30s);
+  EXPECT_TRUE(ok);
+}
+
+TEST(ThreadRuntime, ResetServiceRunsOnThreads) {
+  // The PIF-based services use the same Process interface, so they run on
+  // the thread runtime unchanged.
+  const int n = 3;
+  ThreadRuntime rt(n, {.seed = 19});
+  std::atomic<int> hooks{0};
+  for (int i = 0; i < n; ++i)
+    rt.add_process(std::make_unique<core::ResetProcess>(
+        n - 1, 1, [&hooks](sim::Context&) { hooks.fetch_add(1); }));
+  rt.with_process<core::ResetProcess>(0, [](core::ResetProcess& p) {
+    p.reset().request();
+    return 0;
+  });
+  const bool ok = rt.run(
+      [&rt] {
+        return rt.with_process<core::ResetProcess>(
+            0, [](core::ResetProcess& p) { return p.reset().done(); });
+      },
+      10s);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(hooks.load(), n);  // initiator + every peer
+}
+
+TEST(ThreadRuntime, ElectionServiceRunsOnThreads) {
+  const int n = 4;
+  ThreadRuntime rt(n, {.seed = 23});
+  for (int i = 0; i < n; ++i)
+    rt.add_process(
+        std::make_unique<core::ElectionProcess>(100 - i, n - 1, 1));
+  for (int i = 0; i < n; ++i)
+    rt.with_process<core::ElectionProcess>(i, [](core::ElectionProcess& p) {
+      p.election().request();
+      return 0;
+    });
+  const bool ok = rt.run(
+      [&rt, n] {
+        for (int i = 0; i < n; ++i) {
+          const bool done = rt.with_process<core::ElectionProcess>(
+              i, [](core::ElectionProcess& p) { return p.election().done(); });
+          if (!done) return false;
+        }
+        return true;
+      },
+      20s);
+  ASSERT_TRUE(ok);
+  for (int i = 0; i < n; ++i) {
+    const auto leader = rt.with_process<core::ElectionProcess>(
+        i, [](core::ElectionProcess& p) { return p.election().leader(); });
+    EXPECT_EQ(leader, 100 - (n - 1));  // the smallest id
+  }
+}
+
+TEST(ThreadRuntime, ObservationsAreMonotonic) {
+  const int n = 2;
+  ThreadRuntime rt(n, {.seed = 17});
+  for (int i = 0; i < n; ++i)
+    rt.add_process(std::make_unique<core::PifProcess>(n - 1, 1));
+  rt.with_process<core::PifProcess>(0, [](core::PifProcess& p) {
+    p.pif().request(Value::integer(1));
+    return 0;
+  });
+  rt.run(
+      [&rt] {
+        return rt.with_process<core::PifProcess>(
+            0, [](core::PifProcess& p) { return p.pif().done(); });
+      },
+      10s);
+  const auto obs = rt.observations();
+  ASSERT_FALSE(obs.empty());
+  for (std::size_t i = 1; i < obs.size(); ++i)
+    EXPECT_LT(obs[i - 1].step, obs[i].step);
+}
+
+}  // namespace
+}  // namespace snapstab::runtime

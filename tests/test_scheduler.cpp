@@ -1,0 +1,160 @@
+// test_scheduler.cpp — the three daemons: random (with fair loss),
+// round-robin (synchronous rounds), scripted (adversarial replay).
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace snapstab::sim {
+namespace {
+
+std::unique_ptr<Simulator> probe_world(int n, std::uint64_t seed = 1) {
+  auto sim = std::make_unique<Simulator>(n, 1, seed);
+  for (int i = 0; i < n; ++i) sim->add_process(std::make_unique<ProbeProcess>());
+  return sim;
+}
+
+TEST(RandomScheduler, DeterministicForSameSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    auto sim = probe_world(3);
+    // Processes ping their first channel on every tick so deliveries and
+    // ticks interleave.
+    for (int p = 0; p < 3; ++p)
+      sim->process_as<ProbeProcess>(p).tick_fn = [](Context& ctx) {
+        ctx.send(0, Message::naive_brd(Value::none()));
+      };
+    sim->set_scheduler(std::make_unique<RandomScheduler>(seed));
+    sim->run(500);
+    std::vector<int> counts;
+    for (int p = 0; p < 3; ++p) {
+      counts.push_back(sim->process_as<ProbeProcess>(p).ticks);
+      counts.push_back(sim->process_as<ProbeProcess>(p).received);
+    }
+    return counts;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+TEST(RandomScheduler, SkipsDisabledProcesses) {
+  auto sim = probe_world(2);
+  sim->process_as<ProbeProcess>(0).enabled = false;
+  sim->set_scheduler(std::make_unique<RandomScheduler>(7));
+  sim->run(200);
+  EXPECT_EQ(sim->process_as<ProbeProcess>(0).ticks, 0);
+  EXPECT_EQ(sim->process_as<ProbeProcess>(1).ticks, 200);
+}
+
+TEST(RandomScheduler, DoesNotDeliverToBusyProcess) {
+  auto sim = probe_world(2);
+  sim->process_as<ProbeProcess>(0).enabled = false;
+  sim->process_as<ProbeProcess>(1).enabled = false;
+  sim->process_as<ProbeProcess>(1).busy_flag = true;
+  sim->network().channel(0, 1).push(Message::naive_brd(Value::none()));
+  sim->set_scheduler(std::make_unique<RandomScheduler>(7));
+  // The only pending work is a delivery to a busy process: quiescent.
+  EXPECT_EQ(sim->run(100), Simulator::StopReason::Quiescent);
+  EXPECT_EQ(sim->process_as<ProbeProcess>(1).received, 0);
+}
+
+TEST(RandomScheduler, LossAdversaryDropsRoughlyAtRate) {
+  auto sim = probe_world(2);
+  auto& p0 = sim->process_as<ProbeProcess>(0);
+  p0.tick_fn = [](Context& ctx) {
+    ctx.send(0, Message::naive_brd(Value::none()));
+  };
+  sim->process_as<ProbeProcess>(1).enabled = false;
+  sim->set_scheduler(std::make_unique<RandomScheduler>(
+      11, LossOptions{.rate = 0.5, .max_consecutive = 1000}));
+  sim->run(40'000);
+  const auto& m = sim->metrics();
+  const double transmissions =
+      static_cast<double>(m.deliveries + m.adversary_losses);
+  ASSERT_GT(transmissions, 1000);
+  EXPECT_NEAR(static_cast<double>(m.adversary_losses) / transmissions, 0.5,
+              0.05);
+}
+
+TEST(RandomScheduler, FairLossCapForcesDelivery) {
+  auto sim = probe_world(2);
+  auto& p0 = sim->process_as<ProbeProcess>(0);
+  p0.tick_fn = [](Context& ctx) {
+    ctx.send(0, Message::naive_brd(Value::none()));
+  };
+  sim->process_as<ProbeProcess>(1).enabled = false;
+  // Loss rate 1.0: without the cap nothing would ever be delivered.
+  sim->set_scheduler(std::make_unique<RandomScheduler>(
+      13, LossOptions{.rate = 1.0, .max_consecutive = 3}));
+  sim->run(4000);
+  EXPECT_GT(sim->process_as<ProbeProcess>(1).received, 0);
+  // Exactly every fourth transmission attempt is a forced delivery.
+  const auto& m = sim->metrics();
+  EXPECT_NEAR(static_cast<double>(m.adversary_losses) /
+                  static_cast<double>(m.deliveries),
+              3.0, 0.5);
+}
+
+TEST(RoundRobinScheduler, RoundsTickEveryProcessOnce) {
+  auto sim = probe_world(4);
+  sim->set_scheduler(std::make_unique<RoundRobinScheduler>(1));
+  // 4 processes, no messages: one round = 4 ticks.
+  sim->run(8);
+  for (int p = 0; p < 4; ++p)
+    EXPECT_EQ(sim->process_as<ProbeProcess>(p).ticks, 2) << "p" << p;
+  auto* rr = dynamic_cast<RoundRobinScheduler*>(sim->scheduler());
+  ASSERT_NE(rr, nullptr);
+  EXPECT_EQ(rr->rounds(), 2u);
+}
+
+TEST(RoundRobinScheduler, DeliversOncePerRound) {
+  auto sim = probe_world(2);
+  auto& p0 = sim->process_as<ProbeProcess>(0);
+  p0.tick_fn = [](Context& ctx) {
+    ctx.send(0, Message::naive_brd(Value::none()));
+  };
+  sim->set_scheduler(std::make_unique<RoundRobinScheduler>(1));
+  // Capacity-1 dynamics: round 1 has no delivery (channel empty when the
+  // round was formed). In even rounds the round-start send is lost on the
+  // full channel and the pending message is delivered; in odd rounds the
+  // send succeeds and nothing is pending at formation. So rounds cost
+  // 2,3,2,3,... steps and deliveries land in rounds 2,4,6,8.
+  sim->run(20);
+  EXPECT_EQ(sim->process_as<ProbeProcess>(1).received, 4);
+  EXPECT_GE(sim->metrics().sends_lost_full, 3u);
+}
+
+TEST(RoundRobinScheduler, SkipsStaleSteps) {
+  auto sim = probe_world(2);
+  // p1 consumes the message during its tick? No — instead: p0 sends, and
+  // the message is consumed by delivery; a second Deliver scheduled for the
+  // same (now empty) channel must be skipped, not executed as a no-op.
+  auto& p0 = sim->process_as<ProbeProcess>(0);
+  int sends = 0;
+  p0.tick_fn = [&sends](Context& ctx) {
+    if (sends++ == 0) ctx.send(0, Message::naive_brd(Value::none()));
+  };
+  sim->process_as<ProbeProcess>(1).enabled = true;
+  sim->set_scheduler(std::make_unique<RoundRobinScheduler>(1));
+  sim->run(50);
+  EXPECT_EQ(sim->process_as<ProbeProcess>(1).received, 1);
+  EXPECT_EQ(sim->metrics().deliveries, 1u);
+}
+
+TEST(ScriptedScheduler, ReplaysExactly) {
+  auto sim = probe_world(2);
+  auto& p0 = sim->process_as<ProbeProcess>(0);
+  p0.tick_fn = [](Context& ctx) {
+    ctx.send(0, Message::naive_brd(Value::none()));
+  };
+  std::vector<Step> script = {Step::tick(0), Step::deliver(0, 1),
+                              Step::tick(1)};
+  sim->set_scheduler(std::make_unique<ScriptedScheduler>(script));
+  EXPECT_EQ(sim->run(100), Simulator::StopReason::Quiescent);
+  EXPECT_EQ(sim->metrics().steps, 3u);
+  EXPECT_EQ(sim->process_as<ProbeProcess>(0).ticks, 1);
+  EXPECT_EQ(sim->process_as<ProbeProcess>(1).ticks, 1);
+  EXPECT_EQ(sim->process_as<ProbeProcess>(1).received, 1);
+}
+
+}  // namespace
+}  // namespace snapstab::sim

@@ -1,0 +1,156 @@
+// test_simulator.cpp — step execution, metrics, recording, stop conditions.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace snapstab::sim {
+namespace {
+
+std::unique_ptr<Simulator> probe_world(int n, std::size_t cap = 1,
+                                       std::uint64_t seed = 1) {
+  auto sim = std::make_unique<Simulator>(n, cap, seed);
+  for (int i = 0; i < n; ++i) sim->add_process(std::make_unique<ProbeProcess>());
+  return sim;
+}
+
+TEST(Simulator, TickActivatesTargetOnly) {
+  auto sim = probe_world(3);
+  sim->execute(Step::tick(1));
+  EXPECT_EQ(sim->process_as<ProbeProcess>(0).ticks, 0);
+  EXPECT_EQ(sim->process_as<ProbeProcess>(1).ticks, 1);
+  EXPECT_EQ(sim->process_as<ProbeProcess>(2).ticks, 0);
+  EXPECT_EQ(sim->metrics().steps, 1u);
+  EXPECT_EQ(sim->metrics().ticks, 1u);
+}
+
+TEST(Simulator, SendAndDeliverRoundTrip) {
+  auto sim = probe_world(2);
+  auto& p0 = sim->process_as<ProbeProcess>(0);
+  p0.tick_fn = [](Context& ctx) {
+    ctx.send(0, Message::naive_brd(Value::integer(5)));
+  };
+  sim->execute(Step::tick(0));
+  EXPECT_EQ(sim->metrics().sends, 1u);
+  EXPECT_EQ(sim->network().channel(0, 1).size(), 1u);
+
+  sim->execute(Step::deliver(0, 1));
+  auto& p1 = sim->process_as<ProbeProcess>(1);
+  ASSERT_EQ(p1.inbox.size(), 1u);
+  EXPECT_EQ(p1.inbox[0].first, 0);  // n=2: the only local channel, index 0
+  EXPECT_EQ(p1.inbox[0].second.b.as_int(), 5);
+  EXPECT_EQ(sim->metrics().deliveries, 1u);
+}
+
+TEST(Simulator, SendIntoFullChannelCountsLoss) {
+  auto sim = probe_world(2);
+  auto& p0 = sim->process_as<ProbeProcess>(0);
+  p0.tick_fn = [](Context& ctx) {
+    ctx.send(0, Message::naive_brd(Value::integer(1)));
+    ctx.send(0, Message::naive_brd(Value::integer(2)));  // channel full
+  };
+  sim->execute(Step::tick(0));
+  EXPECT_EQ(sim->metrics().sends, 2u);
+  EXPECT_EQ(sim->metrics().sends_lost_full, 1u);
+  EXPECT_EQ(sim->network().channel(0, 1).size(), 1u);
+}
+
+TEST(Simulator, LoseDropsHeadMessage) {
+  auto sim = probe_world(2);
+  sim->network().channel(0, 1).push(Message::naive_brd(Value::none()));
+  EXPECT_TRUE(sim->execute(Step::lose(0, 1)));
+  EXPECT_TRUE(sim->network().channel(0, 1).empty());
+  EXPECT_EQ(sim->metrics().adversary_losses, 1u);
+  EXPECT_EQ(sim->process_as<ProbeProcess>(1).received, 0);
+}
+
+TEST(Simulator, DeliverFromEmptyChannelIsNoOp) {
+  auto sim = probe_world(2);
+  EXPECT_FALSE(sim->execute(Step::deliver(0, 1)));
+  EXPECT_EQ(sim->metrics().deliveries, 0u);
+}
+
+TEST(Simulator, ObservationsCarryStepAndProcess) {
+  auto sim = probe_world(2);
+  auto& p0 = sim->process_as<ProbeProcess>(0);
+  p0.tick_fn = [](Context& ctx) {
+    ctx.observe(Layer::Pif, ObsKind::Start, -1, Value::integer(9));
+  };
+  sim->execute(Step::tick(1));  // unrelated step first
+  sim->execute(Step::tick(0));
+  const auto& events = sim->log().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].process, 0);
+  EXPECT_EQ(events[0].step, 2u);
+  EXPECT_EQ(events[0].kind, ObsKind::Start);
+  EXPECT_EQ(events[0].value.as_int(), 9);
+}
+
+TEST(Simulator, RunStopsOnPredicate) {
+  auto sim = probe_world(2);
+  sim->set_scheduler(std::make_unique<RandomScheduler>(3));
+  const auto reason = sim->run(10'000, [](Simulator& s) {
+    return s.process_as<ProbeProcess>(0).ticks >= 5;
+  });
+  EXPECT_EQ(reason, Simulator::StopReason::Predicate);
+  EXPECT_GE(sim->process_as<ProbeProcess>(0).ticks, 5);
+}
+
+TEST(Simulator, RunReportsQuiescence) {
+  auto sim = probe_world(2);
+  sim->process_as<ProbeProcess>(0).enabled = false;
+  sim->process_as<ProbeProcess>(1).enabled = false;
+  sim->set_scheduler(std::make_unique<RandomScheduler>(3));
+  EXPECT_EQ(sim->run(1000), Simulator::StopReason::Quiescent);
+  EXPECT_EQ(sim->metrics().steps, 0u);
+}
+
+TEST(Simulator, RunExhaustsBudget) {
+  auto sim = probe_world(2);
+  sim->set_scheduler(std::make_unique<RandomScheduler>(3));
+  EXPECT_EQ(sim->run(100), Simulator::StopReason::BudgetExhausted);
+  EXPECT_EQ(sim->metrics().steps, 100u);
+}
+
+TEST(Simulator, RecordingCapturesActivations) {
+  auto sim = probe_world(2);
+  sim->enable_recording();
+  auto& p0 = sim->process_as<ProbeProcess>(0);
+  p0.tick_fn = [](Context& ctx) {
+    ctx.send(0, Message::naive_brd(Value::integer(7)));
+  };
+  sim->execute(Step::tick(0));
+  sim->execute(Step::deliver(0, 1));
+  sim->execute(Step::tick(1));
+
+  const auto& acts0 = sim->activations(0);
+  ASSERT_EQ(acts0.size(), 1u);
+  EXPECT_EQ(acts0[0].kind, StepKind::Tick);
+
+  const auto& acts1 = sim->activations(1);
+  ASSERT_EQ(acts1.size(), 2u);
+  EXPECT_EQ(acts1[0].kind, StepKind::Deliver);
+  EXPECT_EQ(acts1[0].channel_index, 0);
+  EXPECT_EQ(acts1[0].message.b.as_int(), 7);
+  EXPECT_EQ(acts1[1].kind, StepKind::Tick);
+
+  const auto& delivered = sim->delivered(0, 1);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].b.as_int(), 7);
+}
+
+TEST(Simulator, PerProcessRngIsStableAcrossRuns) {
+  auto make = [] {
+    auto sim = probe_world(2, 1, 99);
+    std::vector<std::uint64_t> draws;
+    auto& p0 = sim->process_as<ProbeProcess>(0);
+    p0.tick_fn = [&draws](Context& ctx) { draws.push_back(ctx.rng().next()); };
+    sim->execute(Step::tick(0));
+    sim->execute(Step::tick(0));
+    return draws;
+  };
+  EXPECT_EQ(make(), make());
+}
+
+}  // namespace
+}  // namespace snapstab::sim

@@ -1,0 +1,66 @@
+// test_smoke.cpp — end-to-end smoke: every protocol completes one requested
+// computation from a clean configuration and from a fuzzed one.
+#include <gtest/gtest.h>
+
+#include "core/specs.hpp"
+#include "core/stack.hpp"
+#include "sim/fuzz.hpp"
+#include "sim/simulator.hpp"
+
+namespace snapstab {
+namespace {
+
+using core::MeStackProcess;
+using core::PifProcess;
+using sim::Simulator;
+
+TEST(Smoke, PifCompletesFromCleanState) {
+  Simulator sim(4, /*capacity=*/1, /*seed=*/7);
+  for (int i = 0; i < 4; ++i)
+    sim.add_process(std::make_unique<PifProcess>(3, 1));
+  sim.set_scheduler(std::make_unique<sim::RandomScheduler>(11));
+
+  core::request_pif(sim, 0, Value::text("hello"));
+  const auto reason = sim.run(200'000, [](Simulator& s) {
+    return s.process_as<PifProcess>(0).pif().done();
+  });
+  EXPECT_EQ(reason, Simulator::StopReason::Predicate);
+
+  const auto report = core::check_pif_spec(sim);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Smoke, PifCompletesFromFuzzedState) {
+  Simulator sim(3, 1, 21);
+  for (int i = 0; i < 3; ++i)
+    sim.add_process(std::make_unique<PifProcess>(2, 1));
+  Rng rng(99);
+  sim::fuzz(sim, rng);
+  sim.set_scheduler(std::make_unique<sim::RandomScheduler>(13));
+
+  core::request_pif(sim, 1, Value::text("after-fault"));
+  const auto reason = sim.run(200'000, [](Simulator& s) {
+    return s.process_as<PifProcess>(1).pif().done();
+  });
+  EXPECT_EQ(reason, Simulator::StopReason::Predicate);
+}
+
+TEST(Smoke, MeServesARequest) {
+  Simulator sim(3, 1, 5);
+  for (int i = 0; i < 3; ++i)
+    sim.add_process(std::make_unique<MeStackProcess>(100 + i, 2));
+  sim.set_scheduler(std::make_unique<sim::RandomScheduler>(17));
+
+  ASSERT_TRUE(core::request_cs(sim, 2));
+  const auto reason = sim.run(500'000, [](Simulator& s) {
+    return s.process_as<MeStackProcess>(2).me().request_state() ==
+           core::RequestState::Done;
+  });
+  EXPECT_EQ(reason, Simulator::StopReason::Predicate);
+
+  const auto report = core::check_me_spec(sim);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+}  // namespace
+}  // namespace snapstab

@@ -1,0 +1,98 @@
+// test_stats.cpp — Summary statistics and Histogram used by the benches.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace snapstab {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.total(), 15.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+}
+
+TEST(Summary, PercentilesInterpolate) {
+  Summary s;
+  for (int i = 0; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(95), 95.0, 1e-9);
+}
+
+TEST(Summary, PercentileUnsortedInput) {
+  Summary s;
+  for (double v : {9.0, 1.0, 5.0, 3.0, 7.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, MergeCombinesSamples) {
+  Summary a;
+  Summary b;
+  a.add(1.0);
+  a.add(2.0);
+  b.add(3.0);
+  b.add(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+}
+
+TEST(Summary, AddAfterPercentileInvalidatesCache) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+  s.add(100.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.5);
+}
+
+TEST(Summary, BriefMentionsMoments) {
+  Summary s;
+  EXPECT_EQ(s.brief(), "(no samples)");
+  s.add(10.0);
+  s.add(20.0);
+  const std::string text = s.brief();
+  EXPECT_NE(text.find("15.0"), std::string::npos) << text;
+}
+
+TEST(Histogram, CountsFallInBins) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_EQ(h.total(), 10u);
+  const std::string rendered = h.render();
+  // Every bin has exactly one sample: ten bars of equal length.
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 10);
+}
+
+TEST(Histogram, UnderAndOverflowTracked) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(0.25);
+  h.add(2.0);
+  EXPECT_EQ(h.total(), 3u);
+  const std::string rendered = h.render();
+  EXPECT_NE(rendered.find("<"), std::string::npos);
+  EXPECT_NE(rendered.find(">="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snapstab

@@ -1,0 +1,40 @@
+// test_util.hpp — shared helpers for the simulator-level tests.
+#ifndef SNAPSTAB_TESTS_TEST_UTIL_HPP
+#define SNAPSTAB_TESTS_TEST_UTIL_HPP
+
+#include <functional>
+#include <vector>
+
+#include "sim/process.hpp"
+
+namespace snapstab::sim {
+
+// A fully scriptable process: counts activations, stores received messages,
+// and lets tests inject arbitrary tick behaviour.
+class ProbeProcess final : public Process {
+ public:
+  int ticks = 0;
+  int received = 0;
+  std::vector<std::pair<int, Message>> inbox;  // (channel, message)
+  bool enabled = true;
+  bool busy_flag = false;
+  std::function<void(Context&)> tick_fn;
+  std::function<void(Context&, int, const Message&)> message_fn;
+
+  void on_tick(Context& ctx) override {
+    ++ticks;
+    if (tick_fn) tick_fn(ctx);
+  }
+  void on_message(Context& ctx, int ch, const Message& m) override {
+    ++received;
+    inbox.emplace_back(ch, m);
+    if (message_fn) message_fn(ctx, ch, m);
+  }
+  bool tick_enabled() const override { return enabled; }
+  bool busy() const override { return busy_flag; }
+  void randomize(Rng&) override {}
+};
+
+}  // namespace snapstab::sim
+
+#endif  // SNAPSTAB_TESTS_TEST_UTIL_HPP

@@ -1,0 +1,133 @@
+// test_value_message.cpp — payload Value semantics and wire Message forms.
+#include <gtest/gtest.h>
+
+#include "msg/message.hpp"
+#include "msg/value.hpp"
+
+namespace snapstab {
+namespace {
+
+TEST(Value, DefaultIsNone) {
+  Value v;
+  EXPECT_TRUE(v.is_none());
+  EXPECT_FALSE(v.is_int());
+  EXPECT_FALSE(v.is_token());
+  EXPECT_FALSE(v.is_text());
+  EXPECT_EQ(v, Value::none());
+}
+
+TEST(Value, IntAccessors) {
+  const Value v = Value::integer(-42);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), -42);
+  EXPECT_EQ(v.as_token(Token::No), Token::No);  // fallback on mismatch
+  EXPECT_EQ(v.as_text(), "");
+}
+
+TEST(Value, TokenAccessors) {
+  const Value v = Value::token(Token::Ask);
+  EXPECT_TRUE(v.is_token());
+  EXPECT_TRUE(v.is_token(Token::Ask));
+  EXPECT_FALSE(v.is_token(Token::Exit));
+  EXPECT_EQ(v.as_token(), Token::Ask);
+  EXPECT_EQ(v.as_int(7), 7);  // fallback on mismatch
+}
+
+TEST(Value, TextAccessors) {
+  const Value v = Value::text("how old are you?");
+  EXPECT_TRUE(v.is_text());
+  EXPECT_EQ(v.as_text(), "how old are you?");
+  EXPECT_EQ(v.as_int(-1), -1);
+}
+
+TEST(Value, EqualityDistinguishesAlternatives) {
+  EXPECT_NE(Value::integer(0), Value::none());
+  EXPECT_NE(Value::integer(1), Value::integer(2));
+  EXPECT_NE(Value::token(Token::Yes), Value::token(Token::No));
+  EXPECT_NE(Value::text("a"), Value::text("b"));
+  EXPECT_EQ(Value::text("a"), Value::text("a"));
+  // An int and a token never compare equal, whatever their payloads.
+  EXPECT_NE(Value::integer(0), Value::token(Token::Ok));
+}
+
+TEST(Value, ToStringForms) {
+  EXPECT_EQ(Value::none().to_string(), "-");
+  EXPECT_EQ(Value::integer(5).to_string(), "5");
+  EXPECT_EQ(Value::token(Token::ExitCs).to_string(), "EXITCS");
+  EXPECT_EQ(Value::text("hi").to_string(), "\"hi\"");
+}
+
+TEST(Value, RandomCoversAllAlternatives) {
+  Rng rng(3);
+  bool none = false, ints = false, tok = false, text = false;
+  for (int i = 0; i < 300; ++i) {
+    const Value v = Value::random(rng);
+    none |= v.is_none();
+    ints |= v.is_int();
+    tok |= v.is_token();
+    text |= v.is_text();
+  }
+  EXPECT_TRUE(none && ints && tok && text);
+}
+
+TEST(TokenNames, AllDistinct) {
+  EXPECT_STREQ(token_name(Token::IdlQuery), "IDL");
+  EXPECT_STREQ(token_name(Token::Ask), "ASK");
+  EXPECT_STREQ(token_name(Token::Exit), "EXIT");
+  EXPECT_STREQ(token_name(Token::ExitCs), "EXITCS");
+  EXPECT_STREQ(token_name(Token::Yes), "YES");
+  EXPECT_STREQ(token_name(Token::No), "NO");
+  EXPECT_STREQ(token_name(Token::Ok), "OK");
+}
+
+TEST(Message, PifFactoryPopulatesQuadruple) {
+  const Message m = Message::pif(Value::text("b"), Value::integer(9), 2, 3);
+  EXPECT_EQ(m.kind, MsgKind::Pif);
+  EXPECT_EQ(m.b, Value::text("b"));
+  EXPECT_EQ(m.f, Value::integer(9));
+  EXPECT_EQ(m.state, 2);
+  EXPECT_EQ(m.neig_state, 3);
+}
+
+TEST(Message, BaselineFactories) {
+  EXPECT_EQ(Message::naive_brd(Value::none()).kind, MsgKind::NaiveBrd);
+  EXPECT_EQ(Message::naive_fck(Value::none()).kind, MsgKind::NaiveFck);
+  const Message sb = Message::seq_brd(Value::integer(1), 5);
+  EXPECT_EQ(sb.kind, MsgKind::SeqBrd);
+  EXPECT_EQ(sb.state, 5);
+  EXPECT_EQ(Message::seq_fck(Value::none(), 3).state, 3);
+}
+
+TEST(Message, ToStringMentionsKindAndFlags) {
+  const Message m = Message::pif(Value::token(Token::Ask), Value::none(), 1,
+                                 4);
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("PIF"), std::string::npos);
+  EXPECT_NE(s.find("ASK"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_NE(s.find("4"), std::string::npos);
+}
+
+TEST(Message, RandomRespectsFlagLimit) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const Message m = Message::random(rng, 4);
+    EXPECT_GE(m.state, 0);
+    EXPECT_LE(m.state, 4);
+    EXPECT_GE(m.neig_state, 0);
+    EXPECT_LE(m.neig_state, 4);
+  }
+}
+
+TEST(Message, RandomWildCoversOutOfDomain) {
+  Rng rng(5);
+  bool out_of_domain = false;
+  for (int i = 0; i < 200; ++i) {
+    const Message m = Message::random(rng, 4, /*wild=*/true);
+    if (m.state < 0 || m.state > 4) out_of_domain = true;
+  }
+  EXPECT_TRUE(out_of_domain);
+}
+
+}  // namespace
+}  // namespace snapstab
