@@ -1,0 +1,118 @@
+// tree_broadcast — a snap-stabilizing broadcast wave on a tree.
+//
+// The paper's PIF broadcasts to the initiator's *neighbors*; on the
+// complete graph that is everyone. On a sparse topology the application
+// layer composes waves out of PIFs, one hop at a time (cf. Cournier et
+// al., snap-stabilizing message forwarding on trees): when a process first
+// receives the broadcast value, it starts its own PIF of that value. On a
+// tree every process is reached exactly once per wave — no duplicate
+// suppression beyond "have I already relayed this" is needed — and each
+// hop inherits PIF's snap-stabilization: requests made after the fault
+// stops are served correctly, even from the fuzzed configuration this demo
+// starts in.
+//
+// Build & run:  ./examples/example_tree_broadcast [seed]
+#include <cstdio>
+#include <memory>
+
+#include "core/pif.hpp"
+#include "sim/fuzz.hpp"
+#include "sim/simulator.hpp"
+
+using namespace snapstab;
+
+namespace {
+
+// One node of the wave: a PIF instance plus the "relay once" rule.
+class WaveProcess final : public sim::Process {
+ public:
+  explicit WaveProcess(int degree) : pif_(degree, /*channel_capacity=*/1) {
+    pif_.set_callbacks({
+        .on_brd = [this](sim::Context&, int, const Value& b) -> Value {
+          if (!relayed_) {
+            relayed_ = true;
+            payload_ = b;
+            pif_.request(b);  // extend the wave one hop
+          }
+          return Value::token(Token::Ok);
+        },
+        .on_fck = {},
+        .on_decide = {},
+    });
+  }
+
+  void start_wave(const Value& b) {
+    relayed_ = true;
+    payload_ = b;
+    pif_.request(b);
+  }
+
+  bool reached() const noexcept { return relayed_; }
+  bool settled() const noexcept { return !relayed_ || pif_.done(); }
+  const Value& payload() const noexcept { return payload_; }
+
+  void on_tick(sim::Context& ctx) override { pif_.tick(ctx); }
+  void on_message(sim::Context& ctx, int ch, const Message& m) override {
+    pif_.handle_message(ctx, ch, m);
+  }
+  bool tick_enabled() const override { return pif_.tick_enabled(); }
+  void randomize(Rng& rng) override { pif_.randomize(rng); }
+
+ private:
+  core::Pif pif_;
+  bool relayed_ = false;
+  Value payload_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 2026;
+  const int n = 24;
+
+  auto topo = sim::Topology::random_tree(n, seed);
+  std::printf("Broadcast wave over a random tree: n=%d, %d directed edges, "
+              "max degree %d\n\n",
+              n, topo.edge_count(), topo.max_degree());
+
+  sim::Simulator world(std::move(topo), /*channel capacity=*/1, seed);
+  for (int p = 0; p < n; ++p)
+    world.add_process(
+        std::make_unique<WaveProcess>(world.topology().degree(p)));
+
+  // Transient fault: arbitrary initial configuration.
+  Rng chaos(seed ^ 0x5EEDu);
+  sim::fuzz(world, chaos);
+  std::printf("initial configuration: fuzzed states, %zu stale messages in "
+              "flight\n",
+              world.network().total_messages_in_flight());
+
+  // The root starts the wave after the fault stops.
+  world.process_as<WaveProcess>(0).start_wave(Value::text("wave"));
+
+  world.set_scheduler(std::make_unique<sim::RandomScheduler>(seed));
+  const auto reason = world.run(5'000'000, [](sim::Simulator& s) {
+    for (int p = 0; p < s.process_count(); ++p) {
+      auto& w = s.process_as<WaveProcess>(p);
+      if (!w.reached() || !w.settled()) return false;
+    }
+    return true;
+  });
+  if (reason != sim::Simulator::StopReason::Predicate) {
+    std::printf("ERROR: the wave did not cover the tree\n");
+    return 1;
+  }
+
+  int reached = 0;
+  for (int p = 0; p < n; ++p)
+    if (world.process_as<WaveProcess>(p).reached()) ++reached;
+  std::printf("\nwave complete: %d/%d processes reached in %llu steps "
+              "(%llu deliveries, %llu sends)\n",
+              reached, n, static_cast<unsigned long long>(world.step_count()),
+              static_cast<unsigned long long>(world.metrics().deliveries),
+              static_cast<unsigned long long>(world.metrics().sends));
+  std::printf("every hop is a PIF: the wave is snap-stabilizing despite the "
+              "corrupted start.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// fenwick.hpp — a Fenwick (binary indexed) tree over 0/1 membership bits.
+//
+// Backs the simulator's enabled-step index: the scheduler needs "how many
+// items are in the set" and "which is the k-th smallest member" without
+// scanning or allocating. Both are O(log n); flipping a bit is O(log n).
+#ifndef SNAPSTAB_COMMON_FENWICK_HPP
+#define SNAPSTAB_COMMON_FENWICK_HPP
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace snapstab {
+
+class FenwickSet {
+ public:
+  FenwickSet() = default;
+
+  // Resets to the empty set over the universe {0, .., universe-1}.
+  void reset(int universe) {
+    n_ = universe;
+    log_ = 0;
+    while ((1 << (log_ + 1)) <= n_) ++log_;
+    tree_.assign(static_cast<std::size_t>(n_) + 1, 0);
+    count_ = 0;
+  }
+
+  int universe() const noexcept { return n_; }
+  int count() const noexcept { return count_; }
+
+  // Adds `delta` (+1 insert, -1 erase) at item i. The caller tracks
+  // membership; double inserts would corrupt the counts.
+  void add(int i, int delta) {
+    SNAPSTAB_CHECK(i >= 0 && i < n_);
+    count_ += delta;
+    for (int j = i + 1; j <= n_; j += j & -j)
+      tree_[static_cast<std::size_t>(j)] += delta;
+  }
+
+  // The k-th smallest member, k in [0, count()).
+  int kth(int k) const {
+    SNAPSTAB_CHECK(k >= 0 && k < count_);
+    int pos = 0;
+    int rem = k + 1;
+    for (int pw = 1 << log_; pw > 0; pw >>= 1) {
+      if (pos + pw <= n_ && tree_[static_cast<std::size_t>(pos + pw)] < rem) {
+        pos += pw;
+        rem -= tree_[static_cast<std::size_t>(pos)];
+      }
+    }
+    return pos;  // 1-based tree: item index is `pos` in 0-based terms
+  }
+
+ private:
+  int n_ = 0;
+  int log_ = 0;
+  int count_ = 0;
+  std::vector<int> tree_;
+};
+
+}  // namespace snapstab
+
+#endif  // SNAPSTAB_COMMON_FENWICK_HPP

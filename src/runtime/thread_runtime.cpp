@@ -10,16 +10,16 @@ class ThreadRuntime::NodeContext final : public sim::Context {
  public:
   NodeContext(ThreadRuntime& rt, int self) : rt_(rt), self_(self) {}
 
-  int degree() const override { return rt_.n_ - 1; }
+  int degree() const override { return rt_.topology_.degree(self_); }
 
   bool send(int channel_index, const Message& m) override {
-    // Same local-index mapping as the simulator's Network.
-    const int dst = (self_ + 1 + channel_index) % rt_.n_;
+    // Same local-index mapping as the simulator: the shared Topology.
+    const sim::EdgeId e = rt_.topology_.out_edge(self_, channel_index);
     auto& node = *rt_.nodes_[static_cast<std::size_t>(self_)];
     if (rt_.options_.loss_rate > 0.0 &&
         node.rng.chance(rt_.options_.loss_rate))
       return true;  // accepted, then the wire ate it (invisible loss)
-    return rt_.mailbox_mut(self_, dst).try_push(m);
+    return rt_.mailboxes_[static_cast<std::size_t>(e)]->try_push(m);
   }
 
   void observe(sim::Layer layer, sim::ObsKind kind, int peer,
@@ -44,9 +44,13 @@ class ThreadRuntime::NodeContext final : public sim::Context {
   int self_;
 };
 
-ThreadRuntime::ThreadRuntime(int process_count, ThreadRuntimeOptions options)
-    : n_(process_count), options_(options) {
-  SNAPSTAB_CHECK(n_ >= 2);
+ThreadRuntime::ThreadRuntime(sim::Topology topology,
+                             ThreadRuntimeOptions options)
+    : topology_(std::move(topology)),
+      n_(topology_.process_count()),
+      options_(options) {
+  SNAPSTAB_CHECK_MSG(topology_.connected(),
+                     "the model requires a connected network");
   Rng seeder(options_.seed);
   nodes_.reserve(static_cast<std::size_t>(n_));
   for (int i = 0; i < n_; ++i) {
@@ -54,11 +58,15 @@ ThreadRuntime::ThreadRuntime(int process_count, ThreadRuntimeOptions options)
     node->rng = seeder.fork(static_cast<std::uint64_t>(i) + 1);
     nodes_.push_back(std::move(node));
   }
-  mailboxes_.reserve(static_cast<std::size_t>(n_) * n_);
-  for (int i = 0; i < n_ * n_; ++i)
+  const int edges = topology_.edge_count();
+  mailboxes_.reserve(static_cast<std::size_t>(edges));
+  for (int e = 0; e < edges; ++e)
     mailboxes_.push_back(
         std::make_unique<Mailbox>(options_.mailbox_capacity));
 }
+
+ThreadRuntime::ThreadRuntime(int process_count, ThreadRuntimeOptions options)
+    : ThreadRuntime(sim::Topology::complete(process_count), options) {}
 
 ThreadRuntime::~ThreadRuntime() {
   stop_.store(true);
@@ -78,13 +86,11 @@ void ThreadRuntime::add_process(std::unique_ptr<sim::Process> p) {
 }
 
 Mailbox& ThreadRuntime::mailbox_mut(int src, int dst) {
-  SNAPSTAB_CHECK(src != dst);
-  return *mailboxes_[static_cast<std::size_t>(src) * n_ + dst];
+  return *mailboxes_[static_cast<std::size_t>(topology_.edge_between(src, dst))];
 }
 
 const Mailbox& ThreadRuntime::mailbox(int src, int dst) const {
-  SNAPSTAB_CHECK(src != dst);
-  return *mailboxes_[static_cast<std::size_t>(src) * n_ + dst];
+  return *mailboxes_[static_cast<std::size_t>(topology_.edge_between(src, dst))];
 }
 
 void ThreadRuntime::thread_main(int p) {
@@ -97,12 +103,12 @@ void ThreadRuntime::thread_main(int p) {
       // Drain at most one message per incident channel, unless busy in the
       // critical section (a busy process receives nothing).
       if (!proc.busy()) {
-        for (int ch = 0; ch < n_ - 1; ++ch) {
+        for (int ch = 0; ch < topology_.degree(p); ++ch) {
           if (proc.busy()) break;  // the CS may start mid-drain? (it cannot
                                    // — receives never start a CS — but stay
                                    // defensive)
-          const int src = (p + 1 + ch) % n_;
-          if (auto m = mailbox_mut(src, p).try_pop())
+          const sim::EdgeId e = topology_.in_edge(p, ch);
+          if (auto m = mailboxes_[static_cast<std::size_t>(e)]->try_pop())
             proc.on_message(ctx, ch, *m);
         }
       }

@@ -3,9 +3,11 @@
 // The paper closes with "actually implementing them is a future challenge";
 // this runtime takes the same Process objects that run in the simulator and
 // executes them under genuine concurrency: each process is a thread, each
-// directed channel a capacity-bounded lossy Mailbox carrying codec-encoded
-// datagrams. Protocol code is shared verbatim with the simulator — the
-// Process/Context interfaces are the only coupling.
+// directed edge of the topology a capacity-bounded lossy Mailbox carrying
+// codec-encoded datagrams. Protocol code is shared verbatim with the
+// simulator — the Process/Context interfaces are the only coupling, and the
+// local-index ↔ peer mapping is the same Topology object the simulator uses
+// (historic constructor: the paper's fully-connected rotation numbering).
 //
 // Concurrency discipline: a process's state is touched only under its node
 // mutex — by its own thread during an activation, or by with_process() /
@@ -25,6 +27,7 @@
 #include "common/rng.hpp"
 #include "runtime/mailbox.hpp"
 #include "sim/process.hpp"
+#include "sim/topology.hpp"
 
 namespace snapstab::runtime {
 
@@ -39,6 +42,8 @@ struct ThreadRuntimeOptions {
 
 class ThreadRuntime {
  public:
+  ThreadRuntime(sim::Topology topology, ThreadRuntimeOptions options = {});
+  // The paper's fully-connected network (historic constructor).
   ThreadRuntime(int process_count, ThreadRuntimeOptions options = {});
   ~ThreadRuntime();
 
@@ -49,6 +54,7 @@ class ThreadRuntime {
   void add_process(std::unique_ptr<sim::Process> p);
 
   int process_count() const noexcept { return n_; }
+  const sim::Topology& topology() const noexcept { return topology_; }
 
   // Runs all process threads until `done()` holds (polled every
   // millisecond) or the timeout elapses; returns whether `done()` held.
@@ -82,10 +88,11 @@ class ThreadRuntime {
   void thread_main(int p);
   Mailbox& mailbox_mut(int src, int dst);
 
+  sim::Topology topology_;
   int n_;
   ThreadRuntimeOptions options_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // slot src*n+dst
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // one per directed edge
 
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> event_counter_{0};

@@ -12,18 +12,15 @@ Adversary::StrikeReport Adversary::strike(Simulator& sim) {
     ++report.processes_hit;
   }
   Network& net = sim.network();
-  for (ProcessId src = 0; src < n; ++src) {
-    for (ProcessId dst = 0; dst < n; ++dst) {
-      if (src == dst) continue;
-      if (!rng_.chance(options_.channel_probability)) continue;
-      Channel& ch = net.channel(src, dst);
-      ch.clear();
-      const std::size_t count =
-          ch.unbounded() ? 1 + rng_.below(3) : 1 + rng_.below(ch.capacity());
-      for (std::size_t i = 0; i < count; ++i)
-        ch.push(Message::random(rng_, options_.flag_limit));
-      ++report.channels_hit;
-    }
+  for (EdgeId e = 0; e < net.edge_count(); ++e) {
+    if (!rng_.chance(options_.channel_probability)) continue;
+    Channel& ch = net.edge_channel(e);
+    ch.clear();
+    const std::size_t count =
+        ch.unbounded() ? 1 + rng_.below(3) : 1 + rng_.below(ch.capacity());
+    for (std::size_t i = 0; i < count; ++i)
+      ch.push(Message::random(rng_, options_.flag_limit));
+    ++report.channels_hit;
   }
   return report;
 }

@@ -11,6 +11,8 @@ bool Channel::push(const Message& m) {
   }
   queue_.push_back(m);
   ++stats_.pushed;
+  if (queue_.size() == 1 && listener_ != nullptr)
+    listener_->channel_transition(tag_, true);
   return true;
 }
 
@@ -19,6 +21,8 @@ std::optional<Message> Channel::pop() {
   Message m = std::move(queue_.front());
   queue_.pop_front();
   ++stats_.popped;
+  if (queue_.empty() && listener_ != nullptr)
+    listener_->channel_transition(tag_, false);
   return m;
 }
 

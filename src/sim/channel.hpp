@@ -20,11 +20,27 @@
 
 namespace snapstab::sim {
 
+// Observes a channel's empty ↔ non-empty transitions. Every content change
+// flows through push/pop/clear, so a listener sees an exact image of channel
+// occupancy — the basis of the simulator's incremental enabled-step index.
+class ChannelListener {
+ public:
+  virtual ~ChannelListener() = default;
+  // `tag` identifies the channel (Network binds the channel's EdgeId).
+  virtual void channel_transition(int tag, bool nonempty) = 0;
+};
+
 class Channel {
  public:
   static constexpr std::size_t kUnbounded = 0;
 
   explicit Channel(std::size_t capacity = 1) : capacity_(capacity) {}
+
+  // Registers the (single) transition observer; pass nullptr to detach.
+  void bind_listener(ChannelListener* listener, int tag) noexcept {
+    listener_ = listener;
+    tag_ = tag;
+  }
 
   bool unbounded() const noexcept { return capacity_ == kUnbounded; }
   std::size_t capacity() const noexcept { return capacity_; }
@@ -44,7 +60,12 @@ class Channel {
   // content of the initiator's incident channels).
   const std::deque<Message>& contents() const noexcept { return queue_; }
 
-  void clear() { queue_.clear(); }
+  void clear() {
+    const bool was_nonempty = !queue_.empty();
+    queue_.clear();
+    if (was_nonempty && listener_ != nullptr)
+      listener_->channel_transition(tag_, false);
+  }
 
   struct Stats {
     std::uint64_t pushed = 0;        // messages accepted into the channel
@@ -57,6 +78,8 @@ class Channel {
   std::size_t capacity_;
   std::deque<Message> queue_;
   Stats stats_;
+  ChannelListener* listener_ = nullptr;
+  int tag_ = -1;
 };
 
 }  // namespace snapstab::sim

@@ -9,21 +9,21 @@ void fuzz(Simulator& sim, Rng& rng, const FuzzOptions& options) {
     for (ProcessId p = 0; p < n; ++p) sim.process(p).randomize(rng);
 
   if (!options.channels) return;
+  // Canonical edge order is ascending (src, dst) — the same enumeration
+  // order as the historic dense scan, so fuzzed configurations of complete
+  // topologies are unchanged for a given RNG state.
   Network& net = sim.network();
-  for (ProcessId src = 0; src < n; ++src) {
-    for (ProcessId dst = 0; dst < n; ++dst) {
-      if (src == dst) continue;
-      Channel& ch = net.channel(src, dst);
-      ch.clear();
-      if (!rng.chance(options.channel_fill)) continue;
-      const std::size_t count =
-          ch.unbounded()
-              ? 1 + rng.below(static_cast<std::uint64_t>(
-                        std::max(1, options.unbounded_messages)))
-              : 1 + rng.below(ch.capacity());
-      for (std::size_t i = 0; i < count; ++i)
-        ch.push(Message::random(rng, options.flag_limit, options.wild_flags));
-    }
+  for (EdgeId e = 0; e < net.edge_count(); ++e) {
+    Channel& ch = net.edge_channel(e);
+    ch.clear();
+    if (!rng.chance(options.channel_fill)) continue;
+    const std::size_t count =
+        ch.unbounded()
+            ? 1 + rng.below(static_cast<std::uint64_t>(
+                      std::max(1, options.unbounded_messages)))
+            : 1 + rng.below(ch.capacity());
+    for (std::size_t i = 0; i < count; ++i)
+      ch.push(Message::random(rng, options.flag_limit, options.wild_flags));
   }
 }
 

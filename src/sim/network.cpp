@@ -2,52 +2,63 @@
 
 namespace snapstab::sim {
 
-Network::Network(int process_count, std::size_t capacity)
-    : n_(process_count), capacity_(capacity) {
-  SNAPSTAB_CHECK_MSG(n_ >= 2, "a network needs at least two processes");
-  channels_.reserve(static_cast<std::size_t>(n_) * n_);
-  for (int i = 0; i < n_ * n_; ++i) channels_.emplace_back(capacity_);
+Network::Network(Topology topology, std::size_t capacity)
+    : topology_(std::move(topology)), capacity_(capacity) {
+  SNAPSTAB_CHECK_MSG(topology_.connected(),
+                     "the model requires a connected network");
+  const int edges = topology_.edge_count();
+  channels_.reserve(static_cast<std::size_t>(edges));
+  for (int e = 0; e < edges; ++e) channels_.emplace_back(capacity_);
+  for (int e = 0; e < edges; ++e)
+    channels_[static_cast<std::size_t>(e)].bind_listener(this, e);
+  nonempty_.assign(static_cast<std::size_t>(edges), 0);
 }
 
-std::size_t Network::slot(ProcessId src, ProcessId dst) const {
-  SNAPSTAB_CHECK(src >= 0 && src < n_);
-  SNAPSTAB_CHECK(dst >= 0 && dst < n_);
-  SNAPSTAB_CHECK_MSG(src != dst, "no self channels in the model");
-  return static_cast<std::size_t>(src) * n_ + dst;
-}
+Network::Network(int process_count, std::size_t capacity)
+    : Network(Topology::complete(process_count), capacity) {}
 
 Channel& Network::channel(ProcessId src, ProcessId dst) {
-  return channels_[slot(src, dst)];
+  return channels_[static_cast<std::size_t>(topology_.edge_between(src, dst))];
 }
 
 const Channel& Network::channel(ProcessId src, ProcessId dst) const {
-  return channels_[slot(src, dst)];
+  return channels_[static_cast<std::size_t>(topology_.edge_between(src, dst))];
 }
 
-ProcessId Network::peer_of(ProcessId p, int local_index) const {
-  SNAPSTAB_CHECK(local_index >= 0 && local_index < degree());
-  return (p + 1 + local_index) % n_;
+Channel& Network::edge_channel(EdgeId e) {
+  SNAPSTAB_CHECK(e >= 0 && e < edge_count());
+  return channels_[static_cast<std::size_t>(e)];
 }
 
-int Network::index_of(ProcessId p, ProcessId peer) const {
-  SNAPSTAB_CHECK(peer != p);
-  return (peer - p - 1 + n_) % n_;
+const Channel& Network::edge_channel(EdgeId e) const {
+  SNAPSTAB_CHECK(e >= 0 && e < edge_count());
+  return channels_[static_cast<std::size_t>(e)];
+}
+
+bool Network::edge_nonempty(EdgeId e) const {
+  SNAPSTAB_CHECK(e >= 0 && e < edge_count());
+  return nonempty_[static_cast<std::size_t>(e)] != 0;
+}
+
+void Network::channel_transition(int tag, bool nonempty) {
+  nonempty_[static_cast<std::size_t>(tag)] = nonempty ? 1 : 0;
+  nonempty_count_ += nonempty ? 1 : -1;
+  if (listener_ != nullptr) listener_->edge_occupancy_changed(tag, nonempty);
 }
 
 std::vector<std::pair<ProcessId, ProcessId>> Network::nonempty_channels()
     const {
   std::vector<std::pair<ProcessId, ProcessId>> out;
-  for (int src = 0; src < n_; ++src)
-    for (int dst = 0; dst < n_; ++dst)
-      if (src != dst && !channel(src, dst).empty()) out.emplace_back(src, dst);
+  out.reserve(static_cast<std::size_t>(nonempty_count_));
+  for (EdgeId e = 0; e < edge_count(); ++e)
+    if (nonempty_[static_cast<std::size_t>(e)] != 0)
+      out.emplace_back(topology_.edge_src(e), topology_.edge_dst(e));
   return out;
 }
 
 std::size_t Network::total_messages_in_flight() const {
   std::size_t total = 0;
-  for (int src = 0; src < n_; ++src)
-    for (int dst = 0; dst < n_; ++dst)
-      if (src != dst) total += channel(src, dst).size();
+  for (const Channel& ch : channels_) total += ch.size();
   return total;
 }
 

@@ -1,14 +1,18 @@
-// network.hpp — the fully-connected topology of the paper.
+// network.hpp — the channels of a topology.
 //
-// Any two distinct processes are joined by a bidirectional link, i.e., two
-// FIFO channels in opposite directions. Each process numbers its incident
-// channels locally; the paper numbers them 1..n-1, this implementation uses
-// 0-based local indices 0..n-2 (paper channel q corresponds to index q-1).
-// The mapping is the rotation
+// A Network owns one FIFO Channel per directed edge of its Topology, stored
+// densely in the topology's canonical edge order. The local-index ↔ peer
+// mapping is delegated to the Topology ("local numbers carry no global
+// meaning"); the historic constructor builds the paper's fully-connected
+// topology with the seed's rotation numbering
 //     peer_of(p, k)  = (p + 1 + k) mod n
 //     index_of(p, r) = (r - p - 1 + n) mod n
-// which gives every process a distinct local numbering, exactly as in the
-// paper's model (local numbers carry no global meaning).
+// so complete-topology executions are unchanged.
+//
+// The Network also maintains an exact set of non-empty edges, fed by the
+// channels' transition hooks, and republishes transitions to an optional
+// NetworkListener — the Simulator subscribes to keep its enabled-step index
+// incremental instead of rescanning all channels per step.
 #ifndef SNAPSTAB_SIM_NETWORK_HPP
 #define SNAPSTAB_SIM_NETWORK_HPP
 
@@ -17,37 +21,71 @@
 #include "common/check.hpp"
 #include "sim/channel.hpp"
 #include "sim/observation.hpp"
+#include "sim/topology.hpp"
 
 namespace snapstab::sim {
 
-class Network {
+// Observes edge occupancy changes (exact, per directed edge).
+class NetworkListener {
+ public:
+  virtual ~NetworkListener() = default;
+  virtual void edge_occupancy_changed(EdgeId e, bool nonempty) = 0;
+};
+
+class Network final : private ChannelListener {
  public:
   // `capacity` applies to every channel; Channel::kUnbounded (0) gives the
   // unbounded channels of the impossibility section.
+  Network(Topology topology, std::size_t capacity);
+  // The paper's fully-connected network (historic constructor).
   Network(int process_count, std::size_t capacity);
 
-  int process_count() const noexcept { return n_; }
-  int degree() const noexcept { return n_ - 1; }
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const Topology& topology() const noexcept { return topology_; }
+  int process_count() const noexcept { return topology_.process_count(); }
+  int edge_count() const noexcept { return topology_.edge_count(); }
+  int degree(ProcessId p) const { return topology_.degree(p); }
   std::size_t capacity() const noexcept { return capacity_; }
 
   Channel& channel(ProcessId src, ProcessId dst);
   const Channel& channel(ProcessId src, ProcessId dst) const;
+  Channel& edge_channel(EdgeId e);
+  const Channel& edge_channel(EdgeId e) const;
 
-  // Local-index <-> global-id mapping (see file comment).
-  ProcessId peer_of(ProcessId p, int local_index) const;
-  int index_of(ProcessId p, ProcessId peer) const;
+  // Local-index ↔ global-id mapping (delegated to the topology).
+  ProcessId peer_of(ProcessId p, int local_index) const {
+    return topology_.peer_of(p, local_index);
+  }
+  int index_of(ProcessId p, ProcessId peer) const {
+    return topology_.index_of(p, peer);
+  }
 
-  // All (src, dst) pairs with a non-empty channel, in deterministic order.
+  // Exact occupancy, maintained through the channel transition hooks.
+  bool edge_nonempty(EdgeId e) const;
+  int nonempty_edge_count() const noexcept { return nonempty_count_; }
+
+  // All (src, dst) pairs with a non-empty channel, in ascending (src, dst)
+  // order (the deterministic order the scanning schedulers relied on).
   std::vector<std::pair<ProcessId, ProcessId>> nonempty_channels() const;
 
   std::size_t total_messages_in_flight() const;
 
- private:
-  std::size_t slot(ProcessId src, ProcessId dst) const;
+  // At most one listener; the Simulator installs itself.
+  void set_listener(NetworkListener* listener) noexcept {
+    listener_ = listener;
+  }
 
-  int n_;
+ private:
+  void channel_transition(int tag, bool nonempty) override;
+
+  Topology topology_;
   std::size_t capacity_;
-  std::vector<Channel> channels_;  // n*n slots, diagonal unused
+  std::vector<Channel> channels_;  // one per directed edge, canonical order
+  std::vector<char> nonempty_;
+  int nonempty_count_ = 0;
+  NetworkListener* listener_ = nullptr;
 };
 
 }  // namespace snapstab::sim

@@ -4,42 +4,38 @@
 
 namespace snapstab::sim {
 
-namespace {
-
-// Enabled Tick targets: processes with at least one enabled spontaneous
-// action (busy processes still tick — their CS countdown advances).
-std::vector<ProcessId> tickable(Simulator& sim) {
-  std::vector<ProcessId> out;
-  for (ProcessId p = 0; p < sim.process_count(); ++p)
-    if (sim.process(p).tick_enabled()) out.push_back(p);
-  return out;
+int& LossStreaks::streak(Simulator& sim, int edge) {
+  // Streaks are keyed by EdgeId, which only means something within one
+  // simulator's topology. When the scheduler is pointed at a different
+  // simulator (detected by instance id — addresses can be reused), start
+  // the loss adversary fresh rather than letting another world's streaks
+  // cap or extend losses on unrelated channels.
+  if (sim.instance_id() != last_sim_id_) {
+    last_sim_id_ = sim.instance_id();
+    counts_.assign(static_cast<std::size_t>(sim.topology().edge_count()), 0);
+  }
+  return counts_[static_cast<std::size_t>(edge)];
 }
-
-// Deliverable channels: non-empty, and the receiver is not busy in its CS.
-std::vector<std::pair<ProcessId, ProcessId>> deliverable(Simulator& sim) {
-  auto pairs = sim.network().nonempty_channels();
-  std::erase_if(pairs, [&](const auto& pr) {
-    return sim.process(pr.second).busy();
-  });
-  return pairs;
-}
-
-}  // namespace
 
 RandomScheduler::RandomScheduler(std::uint64_t seed, LossOptions loss)
     : rng_(seed), loss_(loss) {}
 
 std::optional<Step> RandomScheduler::next(Simulator& sim) {
-  const auto ticks = tickable(sim);
-  const auto chans = deliverable(sim);
-  const std::size_t total = ticks.size() + chans.size();
+  const int ticks = sim.tick_enabled_count();
+  const int chans = sim.deliverable_count();
+  const std::size_t total =
+      static_cast<std::size_t>(ticks) + static_cast<std::size_t>(chans);
   if (total == 0) return std::nullopt;
 
   const auto pick = rng_.below(total);
-  if (pick < ticks.size()) return Step::tick(ticks[pick]);
+  if (pick < static_cast<std::size_t>(ticks))
+    return Step::tick(sim.nth_tick_enabled(static_cast<int>(pick)));
 
-  const auto [src, dst] = chans[pick - ticks.size()];
-  int& streak = consecutive_losses_[{src, dst}];
+  const EdgeId e =
+      sim.nth_deliverable(static_cast<int>(pick) - ticks);
+  const ProcessId src = sim.topology().edge_src(e);
+  const ProcessId dst = sim.topology().edge_dst(e);
+  int& streak = streaks_.streak(sim, e);
   if (loss_.rate > 0.0 && streak < loss_.max_consecutive &&
       rng_.chance(loss_.rate)) {
     ++streak;
@@ -56,9 +52,13 @@ void RoundRobinScheduler::refill(Simulator& sim) {
   // One synchronous round: every tick-enabled process activates in id order,
   // then every currently non-empty channel transmits once. Loss is sampled
   // when the round is formed, subject to the fair-loss cap.
-  for (const ProcessId p : tickable(sim)) pending_.push_back(Step::tick(p));
-  for (const auto& [src, dst] : deliverable(sim)) {
-    int& streak = consecutive_losses_[{src, dst}];
+  for (int k = 0; k < sim.tick_enabled_count(); ++k)
+    pending_.push_back(Step::tick(sim.nth_tick_enabled(k)));
+  for (int k = 0; k < sim.deliverable_count(); ++k) {
+    const EdgeId e = sim.nth_deliverable(k);
+    const ProcessId src = sim.topology().edge_src(e);
+    const ProcessId dst = sim.topology().edge_dst(e);
+    int& streak = streaks_.streak(sim, e);
     if (loss_.rate > 0.0 && streak < loss_.max_consecutive &&
         rng_.chance(loss_.rate)) {
       ++streak;

@@ -13,12 +13,19 @@
 //                         round-complexity metric used in the experiments;
 //   ScriptedScheduler   — replays an explicit step list; used by the
 //                         Figure-1 worst case and the Theorem-1 construction.
+//
+// RandomScheduler and RoundRobinScheduler choose from the simulator's
+// incremental enabled-step index: a uniformly random enabled step costs
+// O(log n) with no allocation, instead of the historic O(n²) channel scan.
+// The candidate enumeration order (tick-enabled processes ascending, then
+// deliverable edges in ascending (src, dst) order) and the per-step RNG
+// consumption are exactly those of the scanning implementation, so
+// executions are bit-identical for the same (code, seed, configuration).
 #ifndef SNAPSTAB_SIM_SCHEDULER_HPP
 #define SNAPSTAB_SIM_SCHEDULER_HPP
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -66,6 +73,19 @@ struct LossOptions {
   int max_consecutive = 8;
 };
 
+// Flat per-edge consecutive-loss streaks; sized lazily from the simulator's
+// topology on first use so the hot path is allocation-free. Streaks reset
+// when the scheduler is driven against a different simulator (EdgeIds are
+// only meaningful within one topology).
+class LossStreaks {
+ public:
+  int& streak(Simulator& sim, int edge);
+
+ private:
+  std::uint64_t last_sim_id_ = 0;  // no simulator has id 0
+  std::vector<int> counts_;
+};
+
 class RandomScheduler final : public Scheduler {
  public:
   explicit RandomScheduler(std::uint64_t seed, LossOptions loss = {});
@@ -74,7 +94,7 @@ class RandomScheduler final : public Scheduler {
  private:
   Rng rng_;
   LossOptions loss_;
-  std::map<std::pair<ProcessId, ProcessId>, int> consecutive_losses_;
+  LossStreaks streaks_;
 };
 
 class RoundRobinScheduler final : public Scheduler {
@@ -90,7 +110,7 @@ class RoundRobinScheduler final : public Scheduler {
   Rng rng_;
   LossOptions loss_;
   std::deque<Step> pending_;
-  std::map<std::pair<ProcessId, ProcessId>, int> consecutive_losses_;
+  LossStreaks streaks_;
   std::uint64_t rounds_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <atomic>
+
 #include "common/check.hpp"
 #include "common/log.hpp"
 
@@ -11,12 +13,14 @@ class SimContext final : public Context {
  public:
   SimContext(Simulator& sim, ProcessId self) : sim_(sim), self_(self) {}
 
-  int degree() const override { return sim_.network_.degree(); }
+  int degree() const override {
+    return sim_.network_.topology().degree(self_);
+  }
 
   bool send(int channel_index, const Message& m) override {
-    const ProcessId dst = sim_.network_.peer_of(self_, channel_index);
+    const EdgeId e = sim_.network_.topology().out_edge(self_, channel_index);
     ++sim_.metrics_.sends;
-    if (!sim_.network_.channel(self_, dst).push(m)) {
+    if (!sim_.network_.edge_channel(e).push(m)) {
       ++sim_.metrics_.sends_lost_full;
       return false;
     }
@@ -38,15 +42,35 @@ class SimContext final : public Context {
   ProcessId self_;
 };
 
+namespace {
+std::uint64_t next_instance_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+}  // namespace
+
+Simulator::Simulator(Topology topology, std::size_t channel_capacity,
+                     std::uint64_t seed)
+    : instance_id_(next_instance_id()),
+      network_(std::move(topology), channel_capacity) {
+  const int n = network_.process_count();
+  Rng seeder(seed);
+  processes_.reserve(static_cast<std::size_t>(n));
+  process_rngs_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    process_rngs_.push_back(seeder.fork(static_cast<std::uint64_t>(i) + 1));
+
+  tick_set_.reset(n);
+  deliverable_set_.reset(network_.edge_count());
+  tick_bit_.assign(static_cast<std::size_t>(n), 0);
+  deliverable_bit_.assign(static_cast<std::size_t>(network_.edge_count()), 0);
+  busy_bit_.assign(static_cast<std::size_t>(n), 0);
+  network_.set_listener(this);
+}
+
 Simulator::Simulator(int process_count, std::size_t channel_capacity,
                      std::uint64_t seed)
-    : network_(process_count, channel_capacity) {
-  Rng seeder(seed);
-  processes_.reserve(static_cast<std::size_t>(process_count));
-  process_rngs_.reserve(static_cast<std::size_t>(process_count));
-  for (int i = 0; i < process_count; ++i)
-    process_rngs_.push_back(seeder.fork(static_cast<std::uint64_t>(i) + 1));
-}
+    : Simulator(Topology::complete(process_count), channel_capacity, seed) {}
 
 void Simulator::add_process(std::unique_ptr<Process> p) {
   SNAPSTAB_CHECK(p != nullptr);
@@ -54,6 +78,7 @@ void Simulator::add_process(std::unique_ptr<Process> p) {
       processes_.size() < static_cast<std::size_t>(network_.process_count()),
       "more processes than network endpoints");
   processes_.push_back(std::move(p));
+  refresh_process(static_cast<ProcessId>(processes_.size()) - 1);
 }
 
 Process& Simulator::process(ProcessId p) {
@@ -70,6 +95,47 @@ void Simulator::set_scheduler(std::unique_ptr<Scheduler> s) {
   scheduler_ = std::move(s);
 }
 
+void Simulator::edge_occupancy_changed(EdgeId e, bool) {
+  refresh_deliverable(e);
+}
+
+void Simulator::refresh_deliverable(EdgeId e) {
+  const ProcessId dst = network_.topology().edge_dst(e);
+  const bool deliverable =
+      network_.edge_nonempty(e) && busy_bit_[static_cast<std::size_t>(dst)] == 0;
+  char& bit = deliverable_bit_[static_cast<std::size_t>(e)];
+  if (deliverable != (bit != 0)) {
+    bit = deliverable ? 1 : 0;
+    deliverable_set_.add(e, deliverable ? 1 : -1);
+  }
+}
+
+void Simulator::refresh_process(ProcessId p) {
+  // Uninstalled processes are neither tickable nor busy.
+  const bool installed = static_cast<std::size_t>(p) < processes_.size();
+  const bool tickable = installed && processes_[static_cast<std::size_t>(p)]
+                                         ->tick_enabled();
+  char& tick = tick_bit_[static_cast<std::size_t>(p)];
+  if (tickable != (tick != 0)) {
+    tick = tickable ? 1 : 0;
+    tick_set_.add(p, tickable ? 1 : -1);
+  }
+
+  const bool busy = installed && processes_[static_cast<std::size_t>(p)]->busy();
+  char& busy_bit = busy_bit_[static_cast<std::size_t>(p)];
+  if (busy != (busy_bit != 0)) {
+    busy_bit = busy ? 1 : 0;
+    // The busy flag gates delivery on every incident in-edge.
+    const Topology& topo = network_.topology();
+    for (int k = 0; k < topo.degree(p); ++k)
+      refresh_deliverable(topo.in_edge(p, k));
+  }
+}
+
+void Simulator::reconcile_enabled_index() {
+  for (ProcessId p = 0; p < network_.process_count(); ++p) refresh_process(p);
+}
+
 bool Simulator::execute(const Step& step) {
   SNAPSTAB_CHECK_MSG(
       processes_.size() == static_cast<std::size_t>(network_.process_count()),
@@ -81,30 +147,29 @@ bool Simulator::execute(const Step& step) {
       ++metrics_.ticks;
       SimContext ctx(*this, step.target);
       p.on_tick(ctx);
+      refresh_process(step.target);
       if (recording_)
         recorded_activations_[static_cast<std::size_t>(step.target)].push_back(
             Activation{StepKind::Tick, -1, Message{}});
       return true;
     }
     case StepKind::Deliver: {
-      Channel& ch = network_.channel(step.src, step.target);
-      auto msg = ch.pop();
+      const EdgeId e = network_.topology().edge_between(step.src, step.target);
+      auto msg = network_.edge_channel(e).pop();
       if (!msg.has_value()) return false;
       Process& p = process(step.target);
       SNAPSTAB_CHECK_MSG(!p.busy(),
                          "scheduler delivered to a process busy in its CS");
       ++metrics_.deliveries;
-      const int index = network_.index_of(step.target, step.src);
+      const int index = network_.topology().edge_index_at_dst(e);
       if (recording_) {
         recorded_activations_[static_cast<std::size_t>(step.target)].push_back(
             Activation{StepKind::Deliver, index, *msg});
-        recorded_deliveries_[static_cast<std::size_t>(step.src) *
-                                 network_.process_count() +
-                             step.target]
-            .push_back(*msg);
+        recorded_deliveries_[static_cast<std::size_t>(e)].push_back(*msg);
       }
       SimContext ctx(*this, step.target);
       p.on_message(ctx, index, *msg);
+      refresh_process(step.target);
       return true;
     }
     case StepKind::Lose: {
@@ -121,12 +186,27 @@ bool Simulator::execute(const Step& step) {
 Simulator::StopReason Simulator::run(
     std::uint64_t max_steps, const std::function<bool(Simulator&)>& stop) {
   SNAPSTAB_CHECK_MSG(scheduler_ != nullptr, "no scheduler installed");
-  if (stop && stop(*this)) return StopReason::Predicate;
+  // Process state may have been mutated since the last step (new requests,
+  // fuzzed variables, adversary strikes) — resynchronize the index once.
+  reconcile_enabled_index();
+  if (stop) {
+    if (stop(*this)) return StopReason::Predicate;
+    reconcile_enabled_index();
+  }
   for (std::uint64_t i = 0; i < max_steps; ++i) {
     auto step = scheduler_->next(*this);
     if (!step.has_value()) return StopReason::Quiescent;
     execute(*step);
-    if (stop && stop(*this)) return StopReason::Predicate;
+    if (stop) {
+      if (stop(*this)) return StopReason::Predicate;
+      // Stop predicates may mutate process state (e.g. submit the next
+      // request once the previous one decided), and they hold plain
+      // references to the processes — no dirty flag can observe that. The
+      // O(n) re-read per step is the price of an exact index under
+      // predicate-driven runs; predicate-free runs stay on the O(log n)
+      // path.
+      reconcile_enabled_index();
+    }
   }
   return StopReason::BudgetExhausted;
 }
@@ -135,9 +215,7 @@ void Simulator::enable_recording() {
   recording_ = true;
   recorded_activations_.assign(
       static_cast<std::size_t>(network_.process_count()), {});
-  recorded_deliveries_.assign(static_cast<std::size_t>(
-                                  network_.process_count()) *
-                                  network_.process_count(),
+  recorded_deliveries_.assign(static_cast<std::size_t>(network_.edge_count()),
                               {});
 }
 
@@ -149,9 +227,8 @@ const std::vector<Activation>& Simulator::activations(ProcessId p) const {
 const std::vector<Message>& Simulator::delivered(ProcessId src,
                                                  ProcessId dst) const {
   SNAPSTAB_CHECK(recording_);
-  return recorded_deliveries_[static_cast<std::size_t>(src) *
-                                  network_.process_count() +
-                              dst];
+  return recorded_deliveries_[static_cast<std::size_t>(
+      network_.topology().edge_between(src, dst))];
 }
 
 }  // namespace snapstab::sim

@@ -5,6 +5,17 @@
 // nondeterminism is seeded, so any execution is reproducible from
 // (code, seed, initial configuration).
 //
+// Enabled-step index: the simulator maintains, incrementally, the exact sets
+// a scheduler chooses from — the tick-enabled processes and the deliverable
+// edges (non-empty channel, receiver not busy in its CS) — as Fenwick-backed
+// order-statistics sets. Channel occupancy is fed by the network's
+// transition hooks (exact under arbitrary channel mutation); process
+// predicates (tick_enabled, busy) are re-read after each executed step for
+// the acting process, and reconciled in bulk at run() start and after each
+// stop-predicate call (stop predicates are allowed to mutate process state,
+// e.g. submit new requests). Schedulers therefore pick a uniformly random
+// enabled step in O(log n) instead of rescanning all n² channels.
+//
 // The simulator can also *record* executions: per-process activation
 // sequences (ticks and received messages in order). Recording is what makes
 // the Theorem-1 impossibility construction executable — record the bad
@@ -18,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/fenwick.hpp"
 #include "sim/network.hpp"
 #include "sim/process.hpp"
 #include "sim/scheduler.hpp"
@@ -40,8 +52,11 @@ struct Activation {
   Message message;                 // the delivered message for Deliver
 };
 
-class Simulator {
+class Simulator final : private NetworkListener {
  public:
+  Simulator(Topology topology, std::size_t channel_capacity,
+            std::uint64_t seed);
+  // The paper's fully-connected network (historic constructor).
   Simulator(int process_count, std::size_t channel_capacity,
             std::uint64_t seed);
 
@@ -59,6 +74,7 @@ class Simulator {
 
   Network& network() noexcept { return network_; }
   const Network& network() const noexcept { return network_; }
+  const Topology& topology() const noexcept { return network_.topology(); }
   ObservationLog& log() noexcept { return log_; }
   const ObservationLog& log() const noexcept { return log_; }
   Metrics& metrics() noexcept { return metrics_; }
@@ -67,6 +83,10 @@ class Simulator {
 
   void set_scheduler(std::unique_ptr<Scheduler> s);
   Scheduler* scheduler() noexcept { return scheduler_.get(); }
+
+  // Unique over the process lifetime (never reused, unlike addresses);
+  // lets per-simulator caches in schedulers detect a simulator change.
+  std::uint64_t instance_id() const noexcept { return instance_id_; }
 
   // Executes one explicit step. Returns false when the step was a no-op
   // (e.g., delivering from an empty channel); the step still counts.
@@ -79,6 +99,19 @@ class Simulator {
   StopReason run(std::uint64_t max_steps,
                  const std::function<bool(Simulator&)>& stop = {});
 
+  // --- enabled-step index (scheduler interface) ---
+  // Members are reported in ascending id / canonical edge order, which is
+  // exactly the order the historic scanning schedulers enumerated.
+  int tick_enabled_count() const noexcept { return tick_set_.count(); }
+  ProcessId nth_tick_enabled(int k) const { return tick_set_.kth(k); }
+  int deliverable_count() const noexcept { return deliverable_set_.count(); }
+  EdgeId nth_deliverable(int k) const { return deliverable_set_.kth(k); }
+  // Re-reads tick_enabled()/busy() for every installed process. Call after
+  // mutating process state outside of execute() (fuzzers, adversaries,
+  // tests poking at process variables between runs do not need to — run()
+  // reconciles on entry).
+  void reconcile_enabled_index();
+
   // --- recording (Theorem-1 machinery) ---
   void enable_recording();
   const std::vector<Activation>& activations(ProcessId p) const;
@@ -88,6 +121,12 @@ class Simulator {
  private:
   friend class SimContext;
 
+  void edge_occupancy_changed(EdgeId e, bool nonempty) override;
+  // Re-reads tick_enabled()/busy() for one process and fixes the index.
+  void refresh_process(ProcessId p);
+  void refresh_deliverable(EdgeId e);
+
+  std::uint64_t instance_id_;
   Network network_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Rng> process_rngs_;
@@ -95,9 +134,16 @@ class Simulator {
   Metrics metrics_;
   std::unique_ptr<Scheduler> scheduler_;
 
+  // Enabled-step index.
+  FenwickSet tick_set_;         // processes with tick_enabled()
+  FenwickSet deliverable_set_;  // edges: non-empty ∧ receiver not busy
+  std::vector<char> tick_bit_;
+  std::vector<char> deliverable_bit_;
+  std::vector<char> busy_bit_;
+
   bool recording_ = false;
   std::vector<std::vector<Activation>> recorded_activations_;
-  std::vector<std::vector<Message>> recorded_deliveries_;  // slot src*n+dst
+  std::vector<std::vector<Message>> recorded_deliveries_;  // per EdgeId
 };
 
 }  // namespace snapstab::sim

@@ -1,0 +1,287 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace snapstab::sim {
+
+namespace {
+
+// Neighbor lists for an undirected edge set, each sorted ascending.
+std::vector<std::vector<ProcessId>> neighbor_lists(
+    int n, const std::vector<std::pair<int, int>>& edges) {
+  std::vector<std::set<ProcessId>> adj(static_cast<std::size_t>(n));
+  for (const auto& [a, b] : edges) {
+    SNAPSTAB_CHECK_MSG(a >= 0 && a < n && b >= 0 && b < n,
+                       "edge endpoint out of range");
+    SNAPSTAB_CHECK_MSG(a != b, "self-loops are not part of the model");
+    adj[static_cast<std::size_t>(a)].insert(b);
+    adj[static_cast<std::size_t>(b)].insert(a);
+  }
+  std::vector<std::vector<ProcessId>> out(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p)
+    out[static_cast<std::size_t>(p)].assign(
+        adj[static_cast<std::size_t>(p)].begin(),
+        adj[static_cast<std::size_t>(p)].end());
+  return out;
+}
+
+}  // namespace
+
+Topology Topology::build(int n, std::vector<std::vector<ProcessId>> neighbors,
+                         std::string name, bool complete) {
+  SNAPSTAB_CHECK_MSG(n >= 2, "a topology needs at least two processes");
+  Topology t;
+  t.n_ = n;
+  t.name_ = std::move(name);
+  t.complete_ = complete;
+
+  // Process CSR.
+  t.row_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int p = 0; p < n; ++p) {
+    const auto& nb = neighbors[static_cast<std::size_t>(p)];
+    SNAPSTAB_CHECK_MSG(!nb.empty(), "every process needs at least one link");
+    t.row_[static_cast<std::size_t>(p) + 1] =
+        t.row_[static_cast<std::size_t>(p)] + static_cast<int>(nb.size());
+    t.max_degree_ = std::max(t.max_degree_, static_cast<int>(nb.size()));
+  }
+  t.nbr_.reserve(static_cast<std::size_t>(t.row_[static_cast<std::size_t>(n)]));
+  for (int p = 0; p < n; ++p)
+    for (const ProcessId q : neighbors[static_cast<std::size_t>(p)])
+      t.nbr_.push_back(q);
+
+  // Canonical edge enumeration: src ascending, dst ascending within src.
+  const int directed = t.row_[static_cast<std::size_t>(n)];
+  t.edge_row_.assign(static_cast<std::size_t>(n) + 1, 0);
+  t.edge_src_.reserve(static_cast<std::size_t>(directed));
+  t.edge_dst_.reserve(static_cast<std::size_t>(directed));
+  t.edge_index_at_src_.resize(static_cast<std::size_t>(directed));
+  t.edge_index_at_dst_.resize(static_cast<std::size_t>(directed));
+  t.out_edge_.resize(static_cast<std::size_t>(directed));
+  t.in_edge_.resize(static_cast<std::size_t>(directed));
+
+  // One scratch inverse map (peer id -> local index), refilled per process
+  // and wiped by touched entry, keeps construction O(n + edges) in memory —
+  // sparse topologies must not pay an n² build cost.
+  std::vector<int> inv(static_cast<std::size_t>(n), -1);
+  const auto fill_inv = [&](ProcessId p) {
+    const auto& nb = neighbors[static_cast<std::size_t>(p)];
+    for (int k = 0; k < static_cast<int>(nb.size()); ++k)
+      inv[static_cast<std::size_t>(nb[static_cast<std::size_t>(k)])] = k;
+  };
+  const auto wipe_inv = [&](ProcessId p) {
+    for (const ProcessId q : neighbors[static_cast<std::size_t>(p)])
+      inv[static_cast<std::size_t>(q)] = -1;
+  };
+
+  EdgeId e = 0;
+  std::vector<ProcessId> sorted;
+  for (ProcessId src = 0; src < n; ++src) {
+    sorted = neighbors[static_cast<std::size_t>(src)];
+    std::sort(sorted.begin(), sorted.end());
+    fill_inv(src);
+    for (const ProcessId dst : sorted) {
+      const int at_src = inv[static_cast<std::size_t>(dst)];
+      t.edge_src_.push_back(src);
+      t.edge_dst_.push_back(dst);
+      t.edge_index_at_src_[static_cast<std::size_t>(e)] = at_src;
+      t.out_edge_[static_cast<std::size_t>(t.row_[static_cast<std::size_t>(
+                      src)] + at_src)] = e;
+      ++e;
+    }
+    wipe_inv(src);
+    t.edge_row_[static_cast<std::size_t>(src) + 1] = e;
+  }
+
+  // Receiver-side indices: group edges by dst (counting sort), then one
+  // scratch fill per dst group.
+  std::vector<int> dst_offset(static_cast<std::size_t>(n) + 1, 0);
+  for (EdgeId id = 0; id < directed; ++id)
+    ++dst_offset[static_cast<std::size_t>(t.edge_dst_[static_cast<std::size_t>(
+                     id)]) + 1];
+  for (int p = 0; p < n; ++p)
+    dst_offset[static_cast<std::size_t>(p) + 1] +=
+        dst_offset[static_cast<std::size_t>(p)];
+  std::vector<EdgeId> by_dst(static_cast<std::size_t>(directed));
+  {
+    std::vector<int> cursor = dst_offset;
+    for (EdgeId id = 0; id < directed; ++id)
+      by_dst[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(t.edge_dst_[static_cast<std::size_t>(
+              id)])]++)] = id;
+  }
+  for (ProcessId dst = 0; dst < n; ++dst) {
+    fill_inv(dst);
+    for (int i = dst_offset[static_cast<std::size_t>(dst)];
+         i < dst_offset[static_cast<std::size_t>(dst) + 1]; ++i) {
+      const EdgeId id = by_dst[static_cast<std::size_t>(i)];
+      const int at_dst =
+          inv[static_cast<std::size_t>(t.edge_src_[static_cast<std::size_t>(
+              id)])];
+      SNAPSTAB_CHECK_MSG(at_dst >= 0, "links must be bidirectional");
+      t.edge_index_at_dst_[static_cast<std::size_t>(id)] = at_dst;
+      t.in_edge_[static_cast<std::size_t>(t.row_[static_cast<std::size_t>(
+                     dst)] + at_dst)] = id;
+    }
+    wipe_inv(dst);
+  }
+
+  // Connectivity (BFS over the CSR).
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::vector<ProcessId> frontier{0};
+  seen[0] = 1;
+  int reached = 1;
+  while (!frontier.empty()) {
+    const ProcessId p = frontier.back();
+    frontier.pop_back();
+    for (int k = t.row_[static_cast<std::size_t>(p)];
+         k < t.row_[static_cast<std::size_t>(p) + 1]; ++k) {
+      const ProcessId q = t.nbr_[static_cast<std::size_t>(k)];
+      if (seen[static_cast<std::size_t>(q)] == 0) {
+        seen[static_cast<std::size_t>(q)] = 1;
+        ++reached;
+        frontier.push_back(q);
+      }
+    }
+  }
+  t.connected_ = reached == n;
+  return t;
+}
+
+Topology Topology::complete(int n) {
+  SNAPSTAB_CHECK_MSG(n >= 2, "a topology needs at least two processes");
+  // The seed's rotation numbering: peer_of(p, k) = (p + 1 + k) mod n.
+  std::vector<std::vector<ProcessId>> neighbors(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    neighbors[static_cast<std::size_t>(p)].reserve(
+        static_cast<std::size_t>(n) - 1);
+    for (int k = 0; k < n - 1; ++k)
+      neighbors[static_cast<std::size_t>(p)].push_back((p + 1 + k) % n);
+  }
+  return build(n, std::move(neighbors), "complete", /*complete=*/true);
+}
+
+Topology Topology::ring(int n) {
+  SNAPSTAB_CHECK_MSG(n >= 2, "a topology needs at least two processes");
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return build(n, neighbor_lists(n, edges), "ring", n <= 3);
+}
+
+Topology Topology::line(int n) {
+  SNAPSTAB_CHECK_MSG(n >= 2, "a topology needs at least two processes");
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return build(n, neighbor_lists(n, edges), "line", n == 2);
+}
+
+Topology Topology::star(int n) {
+  SNAPSTAB_CHECK_MSG(n >= 2, "a topology needs at least two processes");
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 1; i < n; ++i) edges.emplace_back(0, i);
+  return build(n, neighbor_lists(n, edges), "star", n == 2);
+}
+
+Topology Topology::random_tree(int n, std::uint64_t seed) {
+  SNAPSTAB_CHECK_MSG(n >= 2, "a topology needs at least two processes");
+  Rng rng(seed);
+  std::vector<std::pair<int, int>> edges;
+  for (int v = 1; v < n; ++v)
+    edges.emplace_back(
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(v))), v);
+  return build(n, neighbor_lists(n, edges), "random-tree", n == 2);
+}
+
+Topology Topology::from_edges(int n,
+                              const std::vector<std::pair<int, int>>& edges,
+                              std::string name) {
+  auto neighbors = neighbor_lists(n, edges);
+  int directed = 0;
+  for (const auto& nb : neighbors) directed += static_cast<int>(nb.size());
+  return build(n, std::move(neighbors), std::move(name),
+               directed == n * (n - 1));
+}
+
+void Topology::check_process(ProcessId p) const {
+  SNAPSTAB_CHECK(p >= 0 && p < n_);
+}
+
+int Topology::degree(ProcessId p) const {
+  check_process(p);
+  return row_[static_cast<std::size_t>(p) + 1] -
+         row_[static_cast<std::size_t>(p)];
+}
+
+ProcessId Topology::peer_of(ProcessId p, int local_index) const {
+  check_process(p);
+  SNAPSTAB_CHECK(local_index >= 0 && local_index < degree(p));
+  return nbr_[static_cast<std::size_t>(row_[static_cast<std::size_t>(p)] +
+                                       local_index)];
+}
+
+EdgeId Topology::edge_between(ProcessId src, ProcessId dst) const {
+  check_process(src);
+  check_process(dst);
+  SNAPSTAB_CHECK_MSG(src != dst, "no self channels in the model");
+  if (complete_)  // closed form: dsts ascending with src itself skipped
+    return src * (n_ - 1) + dst - (dst > src ? 1 : 0);
+  const auto first = edge_dst_.begin() + edge_row_[static_cast<std::size_t>(src)];
+  const auto last = edge_dst_.begin() + edge_row_[static_cast<std::size_t>(src) + 1];
+  const auto it = std::lower_bound(first, last, dst);
+  SNAPSTAB_CHECK_MSG(it != last && *it == dst,
+                     "no channel between these processes in this topology");
+  return static_cast<EdgeId>(it - edge_dst_.begin());
+}
+
+bool Topology::adjacent(ProcessId a, ProcessId b) const {
+  check_process(a);
+  check_process(b);
+  if (a == b) return false;
+  if (complete_) return true;
+  const auto first = edge_dst_.begin() + edge_row_[static_cast<std::size_t>(a)];
+  const auto last = edge_dst_.begin() + edge_row_[static_cast<std::size_t>(a) + 1];
+  return std::binary_search(first, last, b);
+}
+
+int Topology::index_of(ProcessId p, ProcessId peer) const {
+  return edge_index_at_src_[static_cast<std::size_t>(edge_between(p, peer))];
+}
+
+ProcessId Topology::edge_src(EdgeId e) const {
+  SNAPSTAB_CHECK(e >= 0 && e < edge_count());
+  return edge_src_[static_cast<std::size_t>(e)];
+}
+
+ProcessId Topology::edge_dst(EdgeId e) const {
+  SNAPSTAB_CHECK(e >= 0 && e < edge_count());
+  return edge_dst_[static_cast<std::size_t>(e)];
+}
+
+int Topology::edge_index_at_src(EdgeId e) const {
+  SNAPSTAB_CHECK(e >= 0 && e < edge_count());
+  return edge_index_at_src_[static_cast<std::size_t>(e)];
+}
+
+int Topology::edge_index_at_dst(EdgeId e) const {
+  SNAPSTAB_CHECK(e >= 0 && e < edge_count());
+  return edge_index_at_dst_[static_cast<std::size_t>(e)];
+}
+
+EdgeId Topology::out_edge(ProcessId p, int local_index) const {
+  check_process(p);
+  SNAPSTAB_CHECK(local_index >= 0 && local_index < degree(p));
+  return out_edge_[static_cast<std::size_t>(row_[static_cast<std::size_t>(p)] +
+                                            local_index)];
+}
+
+EdgeId Topology::in_edge(ProcessId p, int local_index) const {
+  check_process(p);
+  SNAPSTAB_CHECK(local_index >= 0 && local_index < degree(p));
+  return in_edge_[static_cast<std::size_t>(row_[static_cast<std::size_t>(p)] +
+                                           local_index)];
+}
+
+}  // namespace snapstab::sim

@@ -1,0 +1,109 @@
+// topology.hpp — the communication graph as a first-class layer.
+//
+// The paper's model is a fully-connected network in which every process
+// numbers its incident channels locally and "local numbers carry no global
+// meaning". A Topology generalizes that to an arbitrary connected graph:
+// each process p owns local channel indices 0..degree(p)-1, and the
+// topology is the sole owner of the local-index ↔ peer mapping. Protocols
+// only ever speak local indices (via Context::degree() and Context::send()),
+// so they run unmodified on any topology.
+//
+// Directed edges carry the channels. Every undirected link {a, b} induces
+// the two directed edges a→b and b→a; edges are numbered canonically in
+// ascending (src, dst) order, which gives Network and the scheduler engine a
+// dense, allocation-free edge-indexed address space.
+//
+// Local numbering: Topology::complete(n) reproduces the seed's rotation
+//     peer_of(p, k) = (p + 1 + k) mod n
+// exactly, so complete-topology executions are bit-identical to the historic
+// dense Network (see tests/golden/). Every other builder numbers a process's
+// neighbors in ascending id order — a deterministic but still purely local
+// choice.
+#ifndef SNAPSTAB_SIM_TOPOLOGY_HPP
+#define SNAPSTAB_SIM_TOPOLOGY_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/observation.hpp"
+
+namespace snapstab::sim {
+
+// Dense index of a directed edge, in ascending (src, dst) order.
+using EdgeId = int;
+
+class Topology {
+ public:
+  // --- builders (all deterministic) ---
+  static Topology complete(int n);
+  static Topology ring(int n);  // cycle 0-1-...-(n-1)-0; ring(2) is one link
+  static Topology line(int n);  // path 0-1-...-(n-1)
+  static Topology star(int n);  // hub 0, leaves 1..n-1
+  // Uniform random attachment tree: node v attaches to a uniform node < v.
+  static Topology random_tree(int n, std::uint64_t seed);
+  // Arbitrary undirected edge list (self-loops forbidden, duplicates
+  // collapsed). The graph must be connected.
+  static Topology from_edges(int n,
+                             const std::vector<std::pair<int, int>>& edges,
+                             std::string name = "custom");
+
+  // --- shape ---
+  int process_count() const noexcept { return n_; }
+  int edge_count() const noexcept {
+    return static_cast<int>(edge_src_.size());
+  }
+  int degree(ProcessId p) const;
+  int max_degree() const noexcept { return max_degree_; }
+  bool is_complete() const noexcept { return complete_; }
+  bool connected() const noexcept { return connected_; }
+  const std::string& name() const noexcept { return name_; }
+
+  // --- local-index ↔ peer mapping (the paper's local numbering) ---
+  ProcessId peer_of(ProcessId p, int local_index) const;
+  int index_of(ProcessId p, ProcessId peer) const;  // requires adjacency
+  bool adjacent(ProcessId a, ProcessId b) const;
+
+  // --- edge addressing ---
+  EdgeId edge_between(ProcessId src, ProcessId dst) const;  // requires adjacency
+  ProcessId edge_src(EdgeId e) const;
+  ProcessId edge_dst(EdgeId e) const;
+  // Local channel index of the edge at its sender / receiver endpoint.
+  int edge_index_at_src(EdgeId e) const;
+  int edge_index_at_dst(EdgeId e) const;
+  // Directed edge p → peer_of(p, local_index) resp. peer_of(p, local_index) → p.
+  EdgeId out_edge(ProcessId p, int local_index) const;
+  EdgeId in_edge(ProcessId p, int local_index) const;
+
+ private:
+  Topology() = default;
+
+  // Builds every derived array from per-process ordered neighbor lists.
+  static Topology build(int n, std::vector<std::vector<ProcessId>> neighbors,
+                        std::string name, bool complete);
+  void check_process(ProcessId p) const;
+
+  int n_ = 0;
+  int max_degree_ = 0;
+  bool complete_ = false;
+  bool connected_ = false;
+  std::string name_;
+
+  // CSR over processes; slots ordered by local index.
+  std::vector<int> row_;            // size n+1
+  std::vector<ProcessId> nbr_;      // peer_of(p, k) = nbr_[row_[p] + k]
+  std::vector<EdgeId> out_edge_;    // edge p → nbr_[row_[p] + k]
+  std::vector<EdgeId> in_edge_;     // edge nbr_[row_[p] + k] → p
+
+  // Per-edge arrays, canonical ascending (src, dst) order.
+  std::vector<int> edge_row_;       // size n+1; edges grouped by src
+  std::vector<ProcessId> edge_src_;
+  std::vector<ProcessId> edge_dst_;
+  std::vector<int> edge_index_at_src_;
+  std::vector<int> edge_index_at_dst_;
+};
+
+}  // namespace snapstab::sim
+
+#endif  // SNAPSTAB_SIM_TOPOLOGY_HPP

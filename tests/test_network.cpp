@@ -9,8 +9,10 @@ namespace {
 TEST(Network, DegreeAndCounts) {
   Network net(5, 1);
   EXPECT_EQ(net.process_count(), 5);
-  EXPECT_EQ(net.degree(), 4);
+  EXPECT_EQ(net.edge_count(), 20);
+  for (int p = 0; p < 5; ++p) EXPECT_EQ(net.degree(p), 4);
   EXPECT_EQ(net.capacity(), 1u);
+  EXPECT_TRUE(net.topology().is_complete());
 }
 
 TEST(Network, LocalIndexingIsABijection) {

@@ -1,0 +1,37 @@
+// record_golden — dumps deterministic reference traces for the equivalence
+// suite (tests/test_equivalence.cpp).
+//
+// The traces under tests/golden/ were produced by the pre-topology seed
+// (dense n×n Network, scanning schedulers). The refactored engine must
+// reproduce them bit-for-bit on complete topologies: same (code, seed,
+// configuration) ⇒ same observation log and metrics. Re-run this tool only
+// to regenerate the goldens after an *intentional* semantics change, and say
+// so in the commit message.
+//
+// Usage: record_golden <output-directory>
+#include <cstdio>
+#include <string>
+
+#include "../tests/golden_scenarios.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-directory>\n", argv[0]);
+    return 1;
+  }
+  const std::string dir = argv[1];
+  for (const auto& scenario : snapstab::golden::scenarios()) {
+    auto sim = scenario.run();
+    const std::string path = dir + "/" + scenario.file;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    const std::string trace = snapstab::golden::render(*sim);
+    std::fwrite(trace.data(), 1, trace.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu events)\n", path.c_str(), sim->log().size());
+  }
+  return 0;
+}
