@@ -140,7 +140,7 @@ OrderCell order_ablation(bool unsafe_order, int n, int trials,
 int main(int argc, char** argv) {
   using namespace snapstab;
   using namespace snapstab::bench;
-  CliArgs args(argc, argv, {"trials", "seed"});
+  CliArgs args(argc, argv, {"trials", "seed", "json"});
   const int trials = static_cast<int>(args.get_int("trials", 120));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1300));
 
@@ -184,5 +184,13 @@ int main(int argc, char** argv) {
   verdict(safe.poisoned == 0 && unsafe.poisoned > 0,
           "the upper-layer-first composition eliminates the minID "
           "poisoning the naive order exhibits");
+
+  BenchJson json("exp_ablation");
+  json.set("trials", trials);
+  json.set("small_unsound", small_unsound);
+  json.set("paper_sound", paper_sound);
+  json.set("safe_order_poisoned", safe.poisoned);
+  json.set("unsafe_order_poisoned", unsafe.poisoned);
+  json.write_if_requested(args);
   return 0;
 }

@@ -127,7 +127,7 @@ std::string pct(int count, int trials) {
 int main(int argc, char** argv) {
   using namespace snapstab;
   using namespace snapstab::bench;
-  CliArgs args(argc, argv, {"trials", "seed", "n"});
+  CliArgs args(argc, argv, {"trials", "seed", "n", "json"});
   const int trials = static_cast<int>(args.get_int("trials", 200));
   const int n = static_cast<int>(args.get_int("n", 3));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1111));
@@ -189,5 +189,12 @@ int main(int argc, char** argv) {
   verdict(seq_later_clean,
           "sequence-number PIF: converged after flushing (self- but not "
           "snap-stabilizing)");
+
+  BenchJson json("exp_baselines");
+  json.set("trials", trials);
+  json.set("snap_clean", snap_clean);
+  json.set("seq_first_dirty", seq_first_dirty);
+  json.set("seq_later_clean", seq_later_clean);
+  json.write_if_requested(args);
   return 0;
 }

@@ -6,6 +6,7 @@
 // computation (the handshake deepens linearly in c). Also reproduces the
 // *mismatch* failure: a protocol believing c' < c channels can be fooled.
 #include "exp_common.hpp"
+#include "trial_runner.hpp"
 
 namespace snapstab::bench {
 namespace {
@@ -20,9 +21,17 @@ struct Cell {
   Summary sends;
 };
 
-Cell run_cell(int c, int n, int trials, std::uint64_t seed0) {
-  Cell cell;
-  for (int t = 0; t < trials; ++t) {
+Cell run_cell(int c, int n, int trials, std::uint64_t seed0, int threads) {
+  // One independent seeded trial per index; workers run them in parallel
+  // (one Simulator + StringPool each), results fold in trial order below.
+  struct Trial {
+    bool completed = false;
+    bool violation = false;
+    double rounds = 0;
+    double sends = 0;
+  };
+  const auto outcomes = run_trials(trials, threads, [&](int t) {
+    Trial out;
     const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(t);
     auto world = pif_world(n, c, seed);
     Rng rng(seed * 7);
@@ -34,16 +43,26 @@ Cell run_cell(int c, int n, int trials, std::uint64_t seed0) {
     const auto reason = world->run(5'000'000, [](Simulator& s) {
       return s.process_as<PifProcess>(0).pif().done();
     });
-    ++cell.runs;
     if (reason != Simulator::StopReason::Predicate) {
-      ++cell.violations;
-      continue;
+      out.violation = true;
+      return out;
     }
-    cell.rounds.add(static_cast<double>(rounds_of(*world)));
-    cell.sends.add(static_cast<double>(world->metrics().sends));
+    out.completed = true;
+    out.rounds = static_cast<double>(rounds_of(*world));
+    out.sends = static_cast<double>(world->metrics().sends);
     const auto report = core::check_pif_spec(
         *world, {.require_termination = false, .require_start = false});
-    if (!report.ok()) ++cell.violations;
+    if (!report.ok()) out.violation = true;
+    return out;
+  });
+
+  Cell cell;
+  for (const auto& out : outcomes) {
+    ++cell.runs;
+    if (out.violation) ++cell.violations;
+    if (!out.completed) continue;
+    cell.rounds.add(out.rounds);
+    cell.sends.add(out.sends);
   }
   return cell;
 }
@@ -72,9 +91,10 @@ bool mismatch_attack(int believed, int real) {
 int main(int argc, char** argv) {
   using namespace snapstab;
   using namespace snapstab::bench;
-  CliArgs args(argc, argv, {"trials", "seed"});
+  CliArgs args(argc, argv, {"trials", "seed", "threads", "json"});
   const int trials = static_cast<int>(args.get_int("trials", 25));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7000));
+  const int threads = trial_thread_count(args, trials);
 
   banner("E7: exp_capacity",
          "§4 remark: extension to known capacity c (straightforward)",
@@ -89,7 +109,7 @@ int main(int argc, char** argv) {
     for (int n : {2, 8}) {
       const auto cell =
           run_cell(c, n, trials,
-                   seed + static_cast<std::uint64_t>(c * 100 + n));
+                   seed + static_cast<std::uint64_t>(c * 100 + n), threads);
       total_violations += cell.violations;
       char range[24];
       std::snprintf(range, sizeof range, "{0..%d}", 2 * c + 2);
@@ -123,5 +143,13 @@ int main(int argc, char** argv) {
           "underestimating the capacity admits ghost decisions (the bound "
           "must be known, exactly as Theorem 1 requires)");
   verdict(exact_safe, "a correct bound was never fooled");
+
+  BenchJson json("exp_capacity");
+  json.set("trials", trials);
+  json.set("threads", threads);
+  json.set("total_violations", total_violations);
+  json.set("under_fooled", under_fooled);
+  json.set("exact_safe", exact_safe);
+  json.write_if_requested(args);
   return 0;
 }

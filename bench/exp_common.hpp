@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -22,6 +23,90 @@
 #include "sim/simulator.hpp"
 
 namespace snapstab::bench {
+
+// Machine-readable result sink: every exp_* binary accepts --json <path>
+// and dumps its key metrics as one flat JSON object, so per-PR perf and
+// validation trajectories (BENCH_*.json) can be recorded and diffed.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string experiment)
+      : experiment_(std::move(experiment)) {}
+
+  void set(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    entries_.emplace_back(key, buf);
+  }
+  void set(const std::string& key, std::int64_t v) {
+    entries_.emplace_back(key, std::to_string(v));
+  }
+  void set(const std::string& key, int v) {
+    set(key, static_cast<std::int64_t>(v));
+  }
+  void set(const std::string& key, std::uint64_t v) {
+    entries_.emplace_back(key, std::to_string(v));
+  }
+  void set(const std::string& key, bool v) {
+    entries_.emplace_back(key, v ? "true" : "false");
+  }
+  void set(const std::string& key, const std::string& v) {
+    entries_.emplace_back(key, "\"" + escaped(v) + "\"");
+  }
+  void set(const std::string& key, const char* v) {
+    set(key, std::string(v));
+  }
+
+  // Writes {"experiment": ..., "results": {...}} to the --json path, if one
+  // was given. Returns false (and complains) when the file cannot be
+  // written.
+  bool write_if_requested(const CliArgs& args) const {
+    if (!args.has("json")) return true;
+    const std::string path = args.get("json", "");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write --json file %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"experiment\": \"%s\",\n  \"results\": {",
+                 escaped(experiment_).c_str());
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+      std::fprintf(f, "%s\n    \"%s\": %s", i == 0 ? "" : ",",
+                   escaped(entries_[i].first).c_str(),
+                   entries_[i].second.c_str());
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("json results written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      const auto u = static_cast<unsigned char>(c);
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (c == '\n') {
+        out += "\\n";
+      } else if (c == '\t') {
+        out += "\\t";
+      } else if (c == '\r') {
+        out += "\\r";
+      } else if (u < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", u);
+        out += buf;
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string experiment_;
+  std::vector<std::pair<std::string, std::string>> entries_;  // key -> json
+};
 
 inline void banner(const char* experiment, const char* anchor,
                    const char* what) {

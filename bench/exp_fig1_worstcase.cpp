@@ -63,7 +63,14 @@ void part1_walkthrough() {
   verdict(p.done(), "the started computation decided");
 }
 
-void part2_sweep() {
+struct SweepResult {
+  int configurations = 0;
+  int completed = 0;
+  int spec_violations = 0;
+  int max_stale_increments = 0;
+};
+
+SweepResult part2_sweep() {
   std::printf(
       "\n--- Part 2: exhaustive adversarial sweep (n=2, capacity 1) ---\n");
   // Options per dimension: stale message flags 0..4 x 0..4 or no message
@@ -151,19 +158,25 @@ void part2_sweep() {
   verdict(max_stale_increments == 3,
           "the paper's worst case is tight: some configuration fakes "
           "exactly 2c+1 = 3 increments, none fakes more");
+  return {configurations, completed, spec_violations, max_stale_increments};
 }
 
 }  // namespace
 }  // namespace snapstab::bench
 
 int main(int argc, char** argv) {
-  snapstab::CliArgs args(argc, argv, {});
-  (void)args;
+  snapstab::CliArgs args(argc, argv, {"json"});
   snapstab::bench::banner(
       "E1: exp_fig1_worstcase", "Figure 1 (worst case of Protocol PIF)",
       "Replays the figure's adversarial scenario and exhaustively verifies\n"
       "that stale data can fake at most 3 of the 4 required increments.");
   snapstab::bench::part1_walkthrough();
-  snapstab::bench::part2_sweep();
+  const auto sweep = snapstab::bench::part2_sweep();
+  snapstab::bench::BenchJson json("exp_fig1_worstcase");
+  json.set("configurations", sweep.configurations);
+  json.set("completed", sweep.completed);
+  json.set("spec_violations", sweep.spec_violations);
+  json.set("max_stale_increments", sweep.max_stale_increments);
+  json.write_if_requested(args);
   return 0;
 }

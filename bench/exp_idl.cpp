@@ -66,7 +66,7 @@ Cell run_cell(int n, bool corrupted, int trials, std::uint64_t seed0) {
 int main(int argc, char** argv) {
   using namespace snapstab;
   using namespace snapstab::bench;
-  CliArgs args(argc, argv, {"trials", "seed"});
+  CliArgs args(argc, argv, {"trials", "seed", "json"});
   const int trials = static_cast<int>(args.get_int("trials", 25));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
 
@@ -95,5 +95,10 @@ int main(int argc, char** argv) {
   verdict(total_violations == 0,
           "every started IDs-Learning computation produced the exact "
           "neighbor table and minimum");
+
+  BenchJson json("exp_idl");
+  json.set("trials", trials);
+  json.set("total_violations", total_violations);
+  json.write_if_requested(args);
   return 0;
 }

@@ -9,7 +9,7 @@
 #include "impossibility/construction.hpp"
 
 int main(int argc, char** argv) {
-  snapstab::CliArgs args(argc, argv, {"seed"});
+  snapstab::CliArgs args(argc, argv, {"seed", "json"});
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
   snapstab::bench::banner(
@@ -57,5 +57,11 @@ int main(int argc, char** argv) {
                            "unbounded channels reproduce the bad factor");
   snapstab::bench::verdict(unbounded.replay_mismatches == 0,
                            "the replay was byte-exact");
+
+  snapstab::bench::BenchJson json("exp_impossibility");
+  json.set("both_in_cs_concurrently", unbounded.both_in_cs_concurrently);
+  json.set("replay_mismatches",
+           static_cast<std::int64_t>(unbounded.replay_mismatches));
+  json.write_if_requested(args);
   return 0;
 }

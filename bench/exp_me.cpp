@@ -131,7 +131,7 @@ bool paper_faithful_deadlock(int n) {
 int main(int argc, char** argv) {
   using namespace snapstab;
   using namespace snapstab::bench;
-  CliArgs args(argc, argv, {"trials", "seed", "budget"});
+  CliArgs args(argc, argv, {"trials", "seed", "budget", "json"});
   const int trials = static_cast<int>(args.get_int("trials", 12));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3000));
   const auto budget =
@@ -201,5 +201,12 @@ int main(int argc, char** argv) {
   verdict(deadlocked,
           "the literal mod-(n+1) rule starves once Value_L = n — the "
           "off-by-one the implementation fixes");
+
+  BenchJson json("exp_me");
+  json.set("trials", trials);
+  json.set("total_violations", total_violations);
+  json.set("total_unserved", total_unserved);
+  json.set("mod_n_plus_1_deadlocked", deadlocked);
+  json.write_if_requested(args);
   return 0;
 }

@@ -19,6 +19,13 @@ struct SnapCell {
   Summary rounds;
   int completed = 0;
   int runs = 0;
+  // Exact per-channel accounting: `delivered` sums Channel::Stats::popped
+  // (actual deliveries only), `dropped` sums the adversary's drops. The
+  // channel-level drop count must reconcile with the scheduler-level loss
+  // metric — `exact` records that it did, for every run.
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  bool exact = true;
 };
 
 SnapCell run_snap(int n, double loss, int trials, std::uint64_t seed0) {
@@ -33,6 +40,12 @@ SnapCell run_snap(int n, double loss, int trials, std::uint64_t seed0) {
       return s.process_as<PifProcess>(0).pif().done();
     });
     ++cell.runs;
+    const auto chan = world->network().aggregate_channel_stats();
+    cell.delivered += chan.popped;
+    cell.dropped += chan.dropped;
+    if (chan.dropped != world->metrics().adversary_losses ||
+        chan.popped != world->metrics().deliveries)
+      cell.exact = false;
     if (reason == Simulator::StopReason::Predicate) {
       ++cell.completed;
       cell.rounds.add(static_cast<double>(rounds_of(*world)));
@@ -66,7 +79,7 @@ int run_naive(int n, double loss, int trials, std::uint64_t seed0) {
 int main(int argc, char** argv) {
   using namespace snapstab;
   using namespace snapstab::bench;
-  CliArgs args(argc, argv, {"trials", "seed"});
+  CliArgs args(argc, argv, {"trials", "seed", "json"});
   const int trials = static_cast<int>(args.get_int("trials", 30));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 9000));
 
@@ -76,8 +89,12 @@ int main(int argc, char** argv) {
          "completion rate collapses with the loss rate.");
 
   TextTable table({"n", "loss", "snap-PIF completed", "snap rounds (mean)",
-                   "snap rounds (p95)", "naive completed"});
+                   "snap rounds (p95)", "delivered", "dropped",
+                   "naive completed"});
   bool snap_always = true;
+  bool accounting_exact = true;
+  std::uint64_t total_delivered = 0;
+  std::uint64_t total_dropped = 0;
   int naive_losses_seen = 0;
   for (int n : {4, 16}) {
     for (double loss : {0.0, 0.05, 0.1, 0.2, 0.4}) {
@@ -86,6 +103,9 @@ int main(int argc, char** argv) {
       const int naive = run_naive(n, loss, trials,
                                   seed + static_cast<std::uint64_t>(n * 200));
       if (snap.completed != snap.runs) snap_always = false;
+      accounting_exact = accounting_exact && snap.exact;
+      total_delivered += snap.delivered;
+      total_dropped += snap.dropped;
       if (loss > 0 && naive < trials) ++naive_losses_seen;
       char frac_snap[32];
       std::snprintf(frac_snap, sizeof frac_snap, "%d/%d", snap.completed,
@@ -99,6 +119,8 @@ int main(int argc, char** argv) {
                      snap.rounds.empty()
                          ? "-"
                          : TextTable::cell(snap.rounds.percentile(95), 1),
+                     TextTable::cell(static_cast<double>(snap.delivered), 0),
+                     TextTable::cell(static_cast<double>(snap.dropped), 0),
                      frac_naive});
     }
   }
@@ -106,5 +128,16 @@ int main(int argc, char** argv) {
   verdict(snap_always, "Protocol PIF terminated in every lossy run");
   verdict(naive_losses_seen > 0,
           "the naive attempt deadlocked under loss (as §4.1 predicts)");
+  verdict(accounting_exact,
+          "channel-level delivered/dropped counts reconciled exactly with "
+          "the scheduler's delivery and loss metrics in every run");
+
+  BenchJson json("exp_pif_loss");
+  json.set("trials", trials);
+  json.set("snap_always_terminated", snap_always);
+  json.set("total_delivered", total_delivered);
+  json.set("total_dropped", total_dropped);
+  json.set("accounting_exact", accounting_exact);
+  json.write_if_requested(args);
   return 0;
 }

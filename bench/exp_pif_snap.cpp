@@ -73,7 +73,7 @@ Cell run_cell(int n, bool corrupted, double loss, int trials,
 int main(int argc, char** argv) {
   using namespace snapstab;
   using namespace snapstab::bench;
-  CliArgs args(argc, argv, {"trials", "seed"});
+  CliArgs args(argc, argv, {"trials", "seed", "json"});
   const int trials = static_cast<int>(args.get_int("trials", 60));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1000));
 
@@ -111,5 +111,11 @@ int main(int argc, char** argv) {
   verdict(total_p1 == 0,
           "Property 1 held: terminated computations flushed the "
           "initiator's channels");
+
+  BenchJson json("exp_pif_snap");
+  json.set("trials", trials);
+  json.set("total_violations", total_violations);
+  json.set("property1_failures", total_p1);
+  json.write_if_requested(args);
   return 0;
 }

@@ -82,7 +82,7 @@ MeResult me_on_threads(int n, std::uint64_t seed) {
 int main(int argc, char** argv) {
   using namespace snapstab;
   using namespace snapstab::bench;
-  CliArgs args(argc, argv, {"seed"});
+  CliArgs args(argc, argv, {"seed", "json"});
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 21));
 
   banner("E12: exp_runtime",
@@ -124,5 +124,11 @@ int main(int argc, char** argv) {
   verdict(served, "every CS request was served on the thread runtime");
   verdict(exclusion, "peak CS occupancy never exceeded 1 (real-time mutual "
                      "exclusion witness)");
+
+  BenchJson json("exp_runtime");
+  json.set("pif_all_ok", all_ok);
+  json.set("me_all_served", served);
+  json.set("me_exclusion", exclusion);
+  json.write_if_requested(args);
   return 0;
 }

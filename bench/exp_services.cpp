@@ -182,7 +182,7 @@ TdCell termdetect_cell(int n, int tokens, int trials, std::uint64_t seed0) {
 int main(int argc, char** argv) {
   using namespace snapstab;
   using namespace snapstab::bench;
-  CliArgs args(argc, argv, {"trials", "seed"});
+  CliArgs args(argc, argv, {"trials", "seed", "json"});
   const int trials = static_cast<int>(args.get_int("trials", 20));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 8800));
 
@@ -251,5 +251,13 @@ int main(int argc, char** argv) {
   verdict(false_claims == 0,
           "the termination detector never claimed with live tokens");
   verdict(no_claims == 0, "every detection eventually claimed");
+
+  BenchJson json("exp_services");
+  json.set("trials", trials);
+  json.set("reset_failures", reset_failures);
+  json.set("election_failures", election_failures);
+  json.set("false_claims", false_claims);
+  json.set("no_claims", no_claims);
+  json.write_if_requested(args);
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <chrono>
 
 #include "exp_common.hpp"
+#include "trial_runner.hpp"
 
 namespace snapstab::bench {
 namespace {
@@ -101,7 +102,7 @@ int main(int argc, char** argv) {
   using namespace snapstab;
   using namespace snapstab::bench;
   using core::PifProcess;
-  CliArgs args(argc, argv, {"n", "steps", "seed", "pif-n"});
+  CliArgs args(argc, argv, {"n", "steps", "seed", "pif-n", "threads", "json"});
   const int n = static_cast<int>(args.get_int("n", 64));
   const auto steps = static_cast<std::uint64_t>(args.get_int("steps", 300'000));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 71));
@@ -131,35 +132,54 @@ int main(int argc, char** argv) {
   speed.print();
   std::printf("speedup: %.1fx\n\n", incremental_rate / legacy_rate);
 
-  // --- claim 2: PIF to decision on every shape ---
+  // --- claim 2: PIF to decision on every shape, one trial per worker ---
   TextTable reach({"topology", "n", "edges", "steps", "deliveries", "done"});
+  const auto make_shape = [&](int which) {
+    switch (which) {
+      case 0: return sim::Topology::complete(pif_n);
+      case 1: return sim::Topology::ring(pif_n);
+      case 2: return sim::Topology::line(pif_n);
+      case 3: return sim::Topology::star(pif_n);
+      default: return sim::Topology::random_tree(pif_n, seed);
+    }
+  };
+  constexpr int kShapes = 5;
+  struct ReachRow {
+    std::string name;
+    int procs = 0;
+    int edges = 0;
+    double steps = 0;
+    double deliveries = 0;
+    bool done = false;
+  };
+  const auto rows = run_trials(
+      kShapes, trial_thread_count(args, kShapes), [&](int which) {
+        sim::Topology topo = make_shape(which);
+        ReachRow row;
+        row.name = topo.name();
+        row.edges = topo.edge_count();
+        row.procs = topo.process_count();
+        Simulator world(std::move(topo), 1, seed);
+        for (int p = 0; p < row.procs; ++p)
+          world.add_process(std::make_unique<PifProcess>(
+              world.topology().degree(p), 1));
+        core::request_pif(world, 0, Value::integer(7));
+        world.set_scheduler(std::make_unique<sim::RandomScheduler>(seed));
+        const auto reason = world.run(50'000'000, [](Simulator& s) {
+          return s.process_as<PifProcess>(0).pif().done();
+        });
+        row.done = reason == Simulator::StopReason::Predicate;
+        row.steps = static_cast<double>(world.step_count());
+        row.deliveries = static_cast<double>(world.metrics().deliveries);
+        return row;
+      });
   bool all_done = true;
-  std::vector<sim::Topology> shapes;
-  shapes.push_back(sim::Topology::complete(pif_n));
-  shapes.push_back(sim::Topology::ring(pif_n));
-  shapes.push_back(sim::Topology::line(pif_n));
-  shapes.push_back(sim::Topology::star(pif_n));
-  shapes.push_back(sim::Topology::random_tree(pif_n, seed));
-  for (auto& topo : shapes) {
-    const std::string name = topo.name();
-    const int edges = topo.edge_count();
-    const int procs = topo.process_count();
-    Simulator world(std::move(topo), 1, seed);
-    for (int p = 0; p < procs; ++p)
-      world.add_process(std::make_unique<PifProcess>(
-          world.topology().degree(p), 1));
-    core::request_pif(world, 0, Value::integer(7));
-    world.set_scheduler(std::make_unique<sim::RandomScheduler>(seed));
-    const auto reason = world.run(50'000'000, [](Simulator& s) {
-      return s.process_as<PifProcess>(0).pif().done();
-    });
-    const bool done = reason == Simulator::StopReason::Predicate;
-    all_done = all_done && done;
-    reach.add_row({name, TextTable::cell(procs), TextTable::cell(edges),
-                   TextTable::cell(static_cast<double>(world.step_count()), 0),
-                   TextTable::cell(static_cast<double>(
-                                       world.metrics().deliveries), 0),
-                   done ? "yes" : "NO"});
+  for (const auto& row : rows) {
+    all_done = all_done && row.done;
+    reach.add_row({row.name, TextTable::cell(row.procs),
+                   TextTable::cell(row.edges), TextTable::cell(row.steps, 0),
+                   TextTable::cell(row.deliveries, 0),
+                   row.done ? "yes" : "NO"});
   }
   reach.print();
 
@@ -167,5 +187,14 @@ int main(int argc, char** argv) {
           "incremental enabled-step index beats the scanning scheduler on "
           "complete(n)");
   verdict(all_done, "PIF reaches a decision on every topology shape");
+
+  BenchJson json("exp_topology");
+  json.set("n", n);
+  json.set("steps", static_cast<std::int64_t>(steps));
+  json.set("incremental_steps_per_sec", incremental_rate);
+  json.set("legacy_steps_per_sec", legacy_rate);
+  json.set("speedup", incremental_rate / legacy_rate);
+  json.set("all_done", all_done);
+  json.write_if_requested(args);
   return incremental_rate > legacy_rate && all_done ? 0 : 1;
 }

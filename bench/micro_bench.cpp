@@ -14,6 +14,72 @@
 namespace snapstab {
 namespace {
 
+// --- message hot path (the BENCH_msg_hotpath.json trio) --------------------
+// Channel push / pop / per-message step with a text payload. Pre-PR these
+// moved std::variant Values owning heap std::strings through std::deque
+// nodes; now they move one flat 48-byte trivially-copyable Message whose
+// text is an interned 4-byte StrId — zero allocations, zero indirections.
+
+Message hot_message() {
+  return Message::pif(Value::text("How old are you?"),
+                      Value::text("stale-feedback"), 3, 2);
+}
+
+// push: fill a capacity-256 channel (the drain between fills rides along at
+// 1/256 of the op count).
+void BM_ChannelPush(benchmark::State& state) {
+  sim::Channel ch(256);
+  const Message m = hot_message();
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) ch.push(m);
+    ch.clear();
+    ops += 256;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_ChannelPush);
+
+// pop: drain a prefilled capacity-256 channel (refill rides along).
+void BM_ChannelPop(benchmark::State& state) {
+  sim::Channel ch(256);
+  const Message m = hot_message();
+  std::uint64_t ops = 0;
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) ch.push(m);
+    for (int i = 0; i < 256; ++i) sink += ch.pop().state;
+    ops += 256;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_ChannelPop);
+
+// step: the per-message step of the delivery pipeline — one message enters
+// and leaves a capacity-1 channel, the empty↔nonempty transition hooks
+// firing both ways (as they do under the simulator's enabled-step index).
+void BM_ChannelStep(benchmark::State& state) {
+  class CountingListener final : public sim::ChannelListener {
+   public:
+    void channel_transition(int, bool) override { ++transitions; }
+    std::uint64_t transitions = 0;
+  };
+  CountingListener listener;
+  sim::Channel ch(1);
+  ch.bind_listener(&listener, 0);
+  const Message m = hot_message();
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    ch.push(m);
+    sink += ch.pop().state;
+  }
+  benchmark::DoNotOptimize(sink);
+  benchmark::DoNotOptimize(listener.transitions);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChannelStep);
+
 void BM_CodecEncode(benchmark::State& state) {
   const Message m = Message::pif(Value::text("How old are you?"),
                                  Value::integer(42), 3, 2);
@@ -33,6 +99,40 @@ void BM_CodecDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CodecDecode);
+
+// Full simulator steps under a text-payload ping workload. Unlike the trio
+// above this includes the engine floor (scheduler draw, Fenwick index
+// maintenance, virtual activation dispatch), which the zero-allocation
+// message path does not touch — expect a modest ratio here and the big
+// ratios on the channel ops.
+void BM_SimulatorStepTextPing(benchmark::State& state) {
+  class TextPing final : public sim::Process {
+   public:
+    void on_tick(sim::Context& ctx) override {
+      const int d = ctx.degree();
+      ctx.send(
+          static_cast<int>(ctx.rng().below(static_cast<std::uint64_t>(d))),
+          msg_);
+    }
+    void on_message(sim::Context&, int, const Message&) override {}
+    bool tick_enabled() const override { return true; }
+    void randomize(Rng&) override {}
+
+   private:
+    const Message msg_ = hot_message();
+  };
+  const int n = static_cast<int>(state.range(0));
+  sim::Simulator world(n, 1, 42);
+  for (int p = 0; p < n; ++p) world.add_process(std::make_unique<TextPing>());
+  world.set_scheduler(std::make_unique<sim::RandomScheduler>(42));
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    world.run(1024);
+    steps += 1024;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_SimulatorStepTextPing)->Arg(16);
 
 void BM_SimulatorStep(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

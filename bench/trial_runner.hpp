@@ -1,0 +1,75 @@
+// trial_runner.hpp — fan independent seeded trials across worker threads.
+//
+// The experiment binaries repeat a (build world, fuzz, run, check) cell for
+// dozens of independent seeds; the trials share nothing, so they scale
+// embarrassingly. run_trials() executes fn(0..trials-1) across a pool of
+// std::threads:
+//
+//   - one StringPool per worker, installed as the thread's current pool for
+//     the worker's lifetime: every Simulator a trial constructs interns into
+//     its worker's pool — workers never contend on interning and never
+//     share id spaces;
+//   - deterministic results: fn must derive all randomness from its trial
+//     index (the binaries use seed0 + t), so results are identical for any
+//     worker count, including --threads 1. Results land in a trial-indexed
+//     vector and are folded in trial order by the caller — aggregation
+//     order is fixed too;
+//   - fn must return plain data (numbers, strings, structs of those).
+//     Returning a Value or an Observation would dangle: it carries a StrId
+//     into the worker's pool, which dies with the pool.
+#ifndef SNAPSTAB_BENCH_TRIAL_RUNNER_HPP
+#define SNAPSTAB_BENCH_TRIAL_RUNNER_HPP
+
+#include <atomic>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "msg/strpool.hpp"
+
+namespace snapstab::bench {
+
+// Worker count for `trials` trials: the --threads flag when given (0 =
+// auto), otherwise all hardware threads, never more than one per trial.
+inline int trial_thread_count(const CliArgs& args, int trials) {
+  int threads = static_cast<int>(args.get_int("threads", 0));
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw != 0 ? static_cast<int>(hw) : 1;
+  }
+  if (threads > trials) threads = trials;
+  return threads > 0 ? threads : 1;
+}
+
+template <typename Fn>
+auto run_trials(int trials, int threads, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, int>> {
+  using Result = std::invoke_result_t<Fn&, int>;
+  static_assert(std::is_default_constructible_v<Result>);
+  std::vector<Result> results(static_cast<std::size_t>(trials > 0 ? trials
+                                                                  : 0));
+  if (trials <= 0) return results;
+
+  std::atomic<int> next{0};
+  const auto worker = [&]() {
+    StringPool pool;  // one Simulator + one pool per worker thread
+    ScopedStringPool scope(pool);
+    for (int t = next.fetch_add(1); t < trials; t = next.fetch_add(1))
+      results[static_cast<std::size_t>(t)] = fn(t);
+  };
+
+  if (threads <= 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) workers.emplace_back(worker);
+  for (auto& w : workers) w.join();
+  return results;
+}
+
+}  // namespace snapstab::bench
+
+#endif  // SNAPSTAB_BENCH_TRIAL_RUNNER_HPP

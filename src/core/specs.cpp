@@ -30,6 +30,10 @@ std::string SpecReport::summary() const {
 SpecReport check_pif_spec(const sim::Simulator& sim,
                           const PifSpecOptions& options) {
   SpecReport report;
+  // Observation values were interned in the simulator's pool; resolve and
+  // format them against it even when the checker runs on another thread
+  // (the parallel trial harness checks inside worker threads).
+  ScopedStringPool pool_scope(sim.string_pool());
   const auto& events = sim.log().events();
   const int n = sim.process_count();
   const auto& net = sim.network();
@@ -121,6 +125,7 @@ SpecReport check_idl_spec(
     const std::function<const Idl&(sim::ProcessId)>& idl_of,
     const std::vector<std::int64_t>& ids) {
   SpecReport report;
+  ScopedStringPool pool_scope(sim.string_pool());
   const int n = sim.process_count();
   const auto& net = sim.network();
 
@@ -166,6 +171,7 @@ SpecReport check_idl_spec(
 SpecReport check_me_spec(const sim::Simulator& sim,
                          const MeSpecOptions& options) {
   SpecReport report;
+  ScopedStringPool pool_scope(sim.string_pool());
   const auto& events = sim.log().events();
   // Open intervals extend to just past the last thing we know happened.
   std::uint64_t horizon = sim.step_count() + 1;

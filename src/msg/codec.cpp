@@ -1,6 +1,7 @@
 #include "msg/codec.hpp"
 
 #include <cstring>
+#include <string_view>
 
 namespace snapstab {
 
@@ -24,7 +25,8 @@ void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
                                             (8 * i)));
 }
 
-void put_value(std::vector<std::uint8_t>& out, const Value& v) {
+void put_value(std::vector<std::uint8_t>& out, const Value& v,
+               const StringPool& pool) {
   if (v.is_none()) {
     put_u8(out, 0);
   } else if (v.is_int()) {
@@ -34,8 +36,9 @@ void put_value(std::vector<std::uint8_t>& out, const Value& v) {
     put_u8(out, 2);
     put_u8(out, static_cast<std::uint8_t>(v.as_token()));
   } else {
+    // The only place interned text leaves the pool: id -> bytes.
     put_u8(out, 3);
-    const std::string& s = v.as_text();
+    const std::string& s = pool.str(v.text_id());
     put_i32(out, static_cast<std::int32_t>(s.size()));
     out.insert(out.end(), s.begin(), s.end());
   }
@@ -45,6 +48,7 @@ void put_value(std::vector<std::uint8_t>& out, const Value& v) {
 struct Reader {
   const std::uint8_t* data;
   std::size_t size;
+  StringPool& pool;
   std::size_t pos = 0;
 
   bool u8(std::uint8_t& out) {
@@ -96,10 +100,11 @@ struct Reader {
         if (len < 0 || static_cast<std::uint32_t>(len) > kMaxTextLength)
           return false;
         if (pos + static_cast<std::size_t>(len) > size) return false;
-        std::string s(reinterpret_cast<const char*>(data + pos),
-                      static_cast<std::size_t>(len));
+        // The only place wire text enters the pool: bytes -> id.
+        const std::string_view s(reinterpret_cast<const char*>(data + pos),
+                                 static_cast<std::size_t>(len));
         pos += static_cast<std::size_t>(len);
-        out = Value::text(std::move(s));
+        out = Value::text_id(pool.intern(s));
         return true;
       }
       default:
@@ -110,19 +115,20 @@ struct Reader {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode(const Message& m) {
+std::vector<std::uint8_t> encode(const Message& m, const StringPool& pool) {
   std::vector<std::uint8_t> out;
   out.reserve(32);
   put_u8(out, static_cast<std::uint8_t>(m.kind));
   put_i32(out, m.state);
   put_i32(out, m.neig_state);
-  put_value(out, m.b);
-  put_value(out, m.f);
+  put_value(out, m.b, pool);
+  put_value(out, m.f, pool);
   return out;
 }
 
-std::optional<Message> decode(const std::uint8_t* data, std::size_t size) {
-  Reader r{data, size};
+std::optional<Message> decode(const std::uint8_t* data, std::size_t size,
+                              StringPool& pool) {
+  Reader r{data, size, pool};
   std::uint8_t kind = 0;
   Message m;
   if (!r.u8(kind)) return std::nullopt;

@@ -7,6 +7,12 @@
 // process (the paper's arbitrary-initial-configuration assumption extends
 // to arbitrary bytes on the wire).
 //
+// The codec is the StrId ↔ bytes boundary: encode() resolves interned text
+// through a StringPool, decode() interns incoming bytes. In-memory, text
+// only ever travels as a 4-byte id; actual characters exist on the wire and
+// in the pool, nowhere else. The overloads without a pool argument use the
+// calling thread's current pool (see msg/strpool.hpp).
+//
 // Layout (little-endian):
 //   u8  kind | i32 state | i32 neig_state | value b | value f
 // value:
@@ -22,14 +28,27 @@
 #include <vector>
 
 #include "msg/message.hpp"
+#include "msg/strpool.hpp"
 
 namespace snapstab {
 
-std::vector<std::uint8_t> encode(const Message& m);
-std::optional<Message> decode(const std::uint8_t* data, std::size_t size);
+std::vector<std::uint8_t> encode(const Message& m, const StringPool& pool);
+std::optional<Message> decode(const std::uint8_t* data, std::size_t size,
+                              StringPool& pool);
 
+inline std::vector<std::uint8_t> encode(const Message& m) {
+  return encode(m, current_string_pool());
+}
+inline std::optional<Message> decode(const std::uint8_t* data,
+                                     std::size_t size) {
+  return decode(data, size, current_string_pool());
+}
 inline std::optional<Message> decode(const std::vector<std::uint8_t>& bytes) {
   return decode(bytes.data(), bytes.size());
+}
+inline std::optional<Message> decode(const std::vector<std::uint8_t>& bytes,
+                                     StringPool& pool) {
+  return decode(bytes.data(), bytes.size(), pool);
 }
 
 }  // namespace snapstab

@@ -26,6 +26,8 @@ std::string Message::to_string() const {
 
 Message Message::random(Rng& rng, std::int32_t flag_limit, bool wild) {
   Message m;
+  // Draw order is pinned (kind, b, f, flags): the fuzz RNG streams are part
+  // of the golden-trace contract.
   switch (rng.below(6)) {
     case 0: m.kind = MsgKind::Pif; break;
     case 1: m.kind = MsgKind::NaiveBrd; break;

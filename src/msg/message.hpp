@@ -11,11 +11,17 @@
 //               baseline; `state` carries the sequence number.
 //   App       — application-level payload (the diffusing computations the
 //               termination-detection service observes).
+//
+// Message is a flat trivially-copyable struct (two 16-byte POD Values, two
+// flags, a kind): channels and mailboxes move it as plain words — no
+// allocation, no indirection — which is what makes the simulator's message
+// hot path allocation-free.
 #ifndef SNAPSTAB_MSG_MESSAGE_HPP
 #define SNAPSTAB_MSG_MESSAGE_HPP
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 
 #include "common/rng.hpp"
 #include "msg/value.hpp"
@@ -34,11 +40,11 @@ enum class MsgKind : std::uint8_t {
 const char* msg_kind_name(MsgKind k) noexcept;
 
 struct Message {
-  MsgKind kind = MsgKind::Pif;
   Value b;                     // broadcast payload (B-Mes)
   Value f;                     // feedback payload (F-Mes)
   std::int32_t state = 0;      // Pif flag / sequence number
   std::int32_t neig_state = 0; // Pif: echoed receiver flag
+  MsgKind kind = MsgKind::Pif;
 
   bool operator==(const Message&) const = default;
 
@@ -46,23 +52,22 @@ struct Message {
 
   static Message pif(Value b_mes, Value f_mes, std::int32_t state,
                      std::int32_t neig_state) {
-    return Message{MsgKind::Pif, std::move(b_mes), std::move(f_mes), state,
-                   neig_state};
+    return Message{b_mes, f_mes, state, neig_state, MsgKind::Pif};
   }
   static Message naive_brd(Value b_mes) {
-    return Message{MsgKind::NaiveBrd, std::move(b_mes), Value::none(), 0, 0};
+    return Message{b_mes, Value::none(), 0, 0, MsgKind::NaiveBrd};
   }
   static Message naive_fck(Value f_mes) {
-    return Message{MsgKind::NaiveFck, Value::none(), std::move(f_mes), 0, 0};
+    return Message{Value::none(), f_mes, 0, 0, MsgKind::NaiveFck};
   }
   static Message seq_brd(Value b_mes, std::int32_t seq) {
-    return Message{MsgKind::SeqBrd, std::move(b_mes), Value::none(), seq, 0};
+    return Message{b_mes, Value::none(), seq, 0, MsgKind::SeqBrd};
   }
   static Message seq_fck(Value f_mes, std::int32_t seq) {
-    return Message{MsgKind::SeqFck, Value::none(), std::move(f_mes), seq, 0};
+    return Message{Value::none(), f_mes, seq, 0, MsgKind::SeqFck};
   }
   static Message app(Value payload) {
-    return Message{MsgKind::App, std::move(payload), Value::none(), 0, 0};
+    return Message{payload, Value::none(), 0, 0, MsgKind::App};
   }
 
   // Arbitrary well-formed message for initial-configuration fuzzing.
@@ -71,6 +76,9 @@ struct Message {
   // exercises the defensive handling of out-of-domain bytes.
   static Message random(Rng& rng, std::int32_t flag_limit, bool wild = false);
 };
+
+static_assert(std::is_trivially_copyable_v<Message>);
+static_assert(sizeof(Message) <= 48, "Message must stay a flat cache-friendly word bundle");
 
 }  // namespace snapstab
 

@@ -1,0 +1,56 @@
+#include "msg/strpool.hpp"
+
+#include <mutex>
+
+namespace snapstab {
+
+namespace {
+thread_local StringPool* tls_current_pool = nullptr;
+}  // namespace
+
+StringPool::StringPool() { intern(std::string_view{}); }
+
+StrId StringPool::intern(std::string_view s) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  auto it = index_.find(s);  // re-check: another thread may have won
+  if (it != index_.end()) return it->second;
+  const StrId id = static_cast<StrId>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+const std::string& StringPool::str(StrId id) const noexcept {
+  std::shared_lock lock(mu_);
+  if (id >= strings_.size()) return kEmptyText;
+  return strings_[id];
+}
+
+std::size_t StringPool::size() const noexcept {
+  std::shared_lock lock(mu_);
+  return strings_.size();
+}
+
+StringPool& StringPool::global() {
+  static StringPool* pool = new StringPool();  // leaked: outlives statics
+  return *pool;
+}
+
+StringPool& current_string_pool() noexcept {
+  StringPool* p = tls_current_pool;
+  return p != nullptr ? *p : StringPool::global();
+}
+
+ScopedStringPool::ScopedStringPool(StringPool& pool) noexcept
+    : previous_(tls_current_pool) {
+  tls_current_pool = &pool;
+}
+
+ScopedStringPool::~ScopedStringPool() { tls_current_pool = previous_; }
+
+}  // namespace snapstab

@@ -20,27 +20,16 @@ const char* token_name(Token t) noexcept {
   return "?";
 }
 
-std::int64_t Value::as_int(std::int64_t fallback) const noexcept {
-  const auto* p = std::get_if<std::int64_t>(&v_);
-  return p != nullptr ? *p : fallback;
-}
-
-Token Value::as_token(Token fallback) const noexcept {
-  const auto* p = std::get_if<Token>(&v_);
-  return p != nullptr ? *p : fallback;
-}
-
 const std::string& Value::as_text() const noexcept {
-  static const std::string empty;
-  const auto* p = std::get_if<std::string>(&v_);
-  return p != nullptr ? *p : empty;
+  if (!is_text()) return kEmptyText;
+  return current_string_pool().str(payload_.s);
 }
 
 std::string Value::to_string() const {
   if (is_none()) return "-";
-  if (is_int()) return std::to_string(std::get<std::int64_t>(v_));
-  if (is_token()) return token_name(std::get<Token>(v_));
-  return "\"" + std::get<std::string>(v_) + "\"";
+  if (is_int()) return std::to_string(payload_.i);
+  if (is_token()) return token_name(payload_.t);
+  return "\"" + as_text() + "\"";
 }
 
 Value Value::random(Rng& rng) {
@@ -55,11 +44,14 @@ Value Value::random(Rng& rng) {
       return token(all[rng.below(all.size())]);
     }
     default: {
-      std::string s;
+      // Same RNG consumption as the pre-interning implementation: one draw
+      // for the length, one per character (the fuzz streams are pinned by
+      // the golden traces).
+      char buf[8];
       const auto len = rng.below(6);
       for (std::uint64_t i = 0; i < len; ++i)
-        s.push_back(static_cast<char>('a' + rng.below(26)));
-      return text(std::move(s));
+        buf[i] = static_cast<char>('a' + rng.below(26));
+      return text(std::string_view(buf, static_cast<std::size_t>(len)));
     }
   }
 }

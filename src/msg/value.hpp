@@ -3,18 +3,27 @@
 // The paper's messages are of the form <message-type, message-value...>.
 // Value models a single message-value: either nothing, an integer (process
 // IDs, ages, counters), a protocol token (IDL / ASK / EXIT / EXITCS / YES /
-// NO / OK), or free text (application payloads such as the quickstart's
+// NO / OK), or text (application payloads such as the quickstart's
 // "How old are you?"). Values are small, copyable, equality-comparable and
 // fuzzable, which is what the arbitrary-initial-configuration machinery
 // needs.
+//
+// Representation: a tagged 16-byte trivially-copyable POD. Text is not
+// stored inline — it is interned into the calling thread's current
+// StringPool (see msg/strpool.hpp) and the Value carries only the 4-byte
+// StrId. Copying a Value, and therefore pushing/popping a Message through a
+// channel, never allocates; text bytes materialize only at the codec
+// boundary and in to_string()/as_text().
 #ifndef SNAPSTAB_MSG_VALUE_HPP
 #define SNAPSTAB_MSG_VALUE_HPP
 
 #include <cstdint>
 #include <string>
-#include <variant>
+#include <string_view>
+#include <type_traits>
 
 #include "common/rng.hpp"
+#include "msg/strpool.hpp"
 
 namespace snapstab {
 
@@ -52,31 +61,49 @@ class Value {
   static Value none() { return Value(); }
   static Value integer(std::int64_t v) { return Value(v); }
   static Value token(Token t) { return Value(t); }
-  static Value text(std::string s) { return Value(std::move(s)); }
+  // Interns `s` into the calling thread's current StringPool.
+  static Value text(std::string_view s) {
+    return Value(current_string_pool().intern(s));
+  }
+  // Wraps an id already interned (codec decode, pre-interned hot paths).
+  static Value text_id(StrId id) { return Value(id); }
 
-  bool is_none() const noexcept {
-    return std::holds_alternative<std::monostate>(v_);
-  }
-  bool is_int() const noexcept {
-    return std::holds_alternative<std::int64_t>(v_);
-  }
-  bool is_token() const noexcept { return std::holds_alternative<Token>(v_); }
-  bool is_text() const noexcept {
-    return std::holds_alternative<std::string>(v_);
-  }
+  bool is_none() const noexcept { return kind_ == Kind::None; }
+  bool is_int() const noexcept { return kind_ == Kind::Int; }
+  bool is_token() const noexcept { return kind_ == Kind::Token; }
+  bool is_text() const noexcept { return kind_ == Kind::Text; }
 
   // Accessors are total: a mismatching payload yields the fallback. The
   // protocols must tolerate arbitrary payloads (arbitrary initial
   // configurations put garbage into channels), so no accessor throws.
-  std::int64_t as_int(std::int64_t fallback = 0) const noexcept;
-  Token as_token(Token fallback = Token::Ok) const noexcept;
-  const std::string& as_text() const noexcept;  // empty string fallback
+  std::int64_t as_int(std::int64_t fallback = 0) const noexcept {
+    return is_int() ? payload_.i : fallback;
+  }
+  Token as_token(Token fallback = Token::Ok) const noexcept {
+    return is_token() ? payload_.t : fallback;
+  }
+  // Resolves against the calling thread's current StringPool; falls back to
+  // the namespace-level kEmptyText constant (never a function-local).
+  const std::string& as_text() const noexcept;
+  // The interned id (0, the empty string, when not text).
+  StrId text_id() const noexcept { return is_text() ? payload_.s : StrId{0}; }
 
   bool is_token(Token t) const noexcept {
-    return is_token() && std::get<Token>(v_) == t;
+    return is_token() && payload_.t == t;
   }
 
-  bool operator==(const Value&) const = default;
+  // Compares the tag and the active payload only (ids compare equal iff the
+  // texts do — within one pool, interning is injective).
+  friend bool operator==(const Value& a, const Value& b) noexcept {
+    if (a.kind_ != b.kind_) return false;
+    switch (a.kind_) {
+      case Kind::None: return true;
+      case Kind::Int: return a.payload_.i == b.payload_.i;
+      case Kind::Token: return a.payload_.t == b.payload_.t;
+      case Kind::Text: return a.payload_.s == b.payload_.s;
+    }
+    return false;
+  }
 
   std::string to_string() const;
 
@@ -84,12 +111,24 @@ class Value {
   static Value random(Rng& rng);
 
  private:
-  explicit Value(std::int64_t v) : v_(v) {}
-  explicit Value(Token t) : v_(t) {}
-  explicit Value(std::string s) : v_(std::move(s)) {}
+  enum class Kind : std::uint8_t { None, Int, Token, Text };
 
-  std::variant<std::monostate, std::int64_t, Token, std::string> v_;
+  union Payload {
+    std::int64_t i;
+    Token t;
+    StrId s;
+  };
+
+  explicit Value(std::int64_t v) : kind_(Kind::Int) { payload_.i = v; }
+  explicit Value(Token t) : kind_(Kind::Token) { payload_.t = t; }
+  explicit Value(StrId s) : kind_(Kind::Text) { payload_.s = s; }
+
+  Kind kind_ = Kind::None;
+  Payload payload_{};  // zero-initialized; inactive bits never compared
 };
+
+static_assert(std::is_trivially_copyable_v<Value>);
+static_assert(sizeof(Value) == 16);
 
 }  // namespace snapstab
 

@@ -8,7 +8,7 @@ bool Mailbox::try_push(const Message& m) {
     ++stats_.lost_on_full;
     return false;
   }
-  slots_.push_back(encode(m));
+  slots_.push_back(encode(m, *pool_));
   ++stats_.pushed;
   return true;
 }
@@ -19,7 +19,7 @@ std::optional<Message> Mailbox::try_pop() {
     std::vector<std::uint8_t> bytes = std::move(slots_.front());
     slots_.pop_front();
     ++stats_.popped;
-    auto decoded = decode(bytes);
+    auto decoded = decode(bytes, *pool_);
     if (decoded.has_value()) return decoded;
     ++stats_.decode_failures;  // corrupted datagram: drop and continue
   }

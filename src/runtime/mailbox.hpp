@@ -4,6 +4,11 @@
 // enforces the paper's bounded-capacity semantics (a push into a full
 // mailbox loses the pushed message) and round-trips every message through
 // the binary codec, so the protocols run against a real wire format.
+//
+// The codec boundary is also the StrId boundary: try_push resolves interned
+// text to bytes against the mailbox's StringPool, try_pop re-interns into
+// the same pool — sender and receiver threads share one id space per
+// runtime (the pool is thread-safe).
 #ifndef SNAPSTAB_RUNTIME_MAILBOX_HPP
 #define SNAPSTAB_RUNTIME_MAILBOX_HPP
 
@@ -15,12 +20,17 @@
 
 #include "msg/codec.hpp"
 #include "msg/message.hpp"
+#include "msg/strpool.hpp"
 
 namespace snapstab::runtime {
 
 class Mailbox {
  public:
-  explicit Mailbox(std::size_t capacity = 1) : capacity_(capacity) {}
+  // `pool` is the id space messages are encoded from / decoded into;
+  // nullptr selects the constructing thread's current pool.
+  explicit Mailbox(std::size_t capacity = 1, StringPool* pool = nullptr)
+      : capacity_(capacity),
+        pool_(pool != nullptr ? pool : &current_string_pool()) {}
 
   // Thread-safe. Returns false when the mailbox was full (message lost).
   bool try_push(const Message& m);
@@ -30,6 +40,7 @@ class Mailbox {
   std::optional<Message> try_pop();
 
   std::size_t capacity() const noexcept { return capacity_; }
+  StringPool& string_pool() const noexcept { return *pool_; }
 
   struct Stats {
     std::uint64_t pushed = 0;
@@ -41,6 +52,7 @@ class Mailbox {
 
  private:
   const std::size_t capacity_;
+  StringPool* pool_;
   mutable std::mutex mu_;
   std::deque<std::vector<std::uint8_t>> slots_;
   Stats stats_;

@@ -48,7 +48,8 @@ ThreadRuntime::ThreadRuntime(sim::Topology topology,
                              ThreadRuntimeOptions options)
     : topology_(std::move(topology)),
       n_(topology_.process_count()),
-      options_(options) {
+      options_(options),
+      pool_(&current_string_pool()) {
   SNAPSTAB_CHECK_MSG(topology_.connected(),
                      "the model requires a connected network");
   Rng seeder(options_.seed);
@@ -62,7 +63,7 @@ ThreadRuntime::ThreadRuntime(sim::Topology topology,
   mailboxes_.reserve(static_cast<std::size_t>(edges));
   for (int e = 0; e < edges; ++e)
     mailboxes_.push_back(
-        std::make_unique<Mailbox>(options_.mailbox_capacity));
+        std::make_unique<Mailbox>(options_.mailbox_capacity, pool_));
 }
 
 ThreadRuntime::ThreadRuntime(int process_count, ThreadRuntimeOptions options)
@@ -95,6 +96,8 @@ const Mailbox& ThreadRuntime::mailbox(int src, int dst) const {
 
 void ThreadRuntime::thread_main(int p) {
   auto& node = *nodes_[static_cast<std::size_t>(p)];
+  // Every node thread interns into the runtime's shared (thread-safe) pool.
+  ScopedStringPool pool_scope(*pool_);
   NodeContext ctx(*this, p);
   while (!stop_.load(std::memory_order_relaxed)) {
     {

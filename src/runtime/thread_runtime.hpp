@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "msg/strpool.hpp"
 #include "runtime/mailbox.hpp"
 #include "sim/process.hpp"
 #include "sim/topology.hpp"
@@ -76,6 +77,11 @@ class ThreadRuntime {
 
   const Mailbox& mailbox(int src, int dst) const;
 
+  // The runtime's StringPool (the constructing thread's current pool): all
+  // node threads intern into and resolve against it, so observation values
+  // compare correctly with values interned by the supervising thread.
+  StringPool& string_pool() const noexcept { return *pool_; }
+
  private:
   struct Node {
     std::mutex mu;
@@ -91,6 +97,7 @@ class ThreadRuntime {
   sim::Topology topology_;
   int n_;
   ThreadRuntimeOptions options_;
+  StringPool* pool_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // one per directed edge
 

@@ -4,6 +4,8 @@ namespace snapstab::sim {
 
 Adversary::StrikeReport Adversary::strike(Simulator& sim) {
   ++strikes_;
+  // Struck-in text payloads belong to the victim simulator's pool.
+  ScopedStringPool pool_scope(sim.string_pool());
   StrikeReport report;
   const int n = sim.process_count();
   for (ProcessId p = 0; p < n; ++p) {

@@ -3,6 +3,9 @@
 namespace snapstab::sim {
 
 void fuzz(Simulator& sim, Rng& rng, const FuzzOptions& options) {
+  // Fuzzed text payloads intern into the simulator's pool, not whatever
+  // pool the calling thread happens to have current.
+  ScopedStringPool pool_scope(sim.string_pool());
   const int n = sim.process_count();
 
   if (options.processes)

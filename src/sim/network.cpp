@@ -62,4 +62,16 @@ std::size_t Network::total_messages_in_flight() const {
   return total;
 }
 
+Channel::Stats Network::aggregate_channel_stats() const {
+  Channel::Stats total;
+  for (const Channel& ch : channels_) {
+    const Channel::Stats& s = ch.stats();
+    total.pushed += s.pushed;
+    total.lost_on_full += s.lost_on_full;
+    total.popped += s.popped;
+    total.dropped += s.dropped;
+  }
+  return total;
+}
+
 }  // namespace snapstab::sim

@@ -72,6 +72,11 @@ class Network final : private ChannelListener {
 
   std::size_t total_messages_in_flight() const;
 
+  // Sum of every channel's Stats — push/pop/loss accounting for the whole
+  // network. `popped` counts actual deliveries only; adversarial drops are
+  // in `dropped` (exact loss accounting, see exp_pif_loss).
+  Channel::Stats aggregate_channel_stats() const;
+
   // At most one listener; the Simulator installs itself.
   void set_listener(NetworkListener* listener) noexcept {
     listener_ = listener;

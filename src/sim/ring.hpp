@@ -1,0 +1,129 @@
+// ring.hpp — a power-of-two ring buffer of Messages.
+//
+// The storage behind Channel. Message is trivially copyable, so the ring
+// moves flat 48-byte slots — no node allocation per push (std::deque), no
+// per-element destructor work. Two regimes share one class:
+//
+//   - bounded channels (capacity known at Channel construction) size the
+//     ring once to the next power of two and never reallocate;
+//   - the unbounded channels of the Section-3 impossibility construction
+//     double the ring when full (amortized O(1), elements re-linearized on
+//     growth).
+//
+// Rings up to kInlineSlots live inline in the owning Channel (no heap at
+// all for the ubiquitous capacity-1/2 channels); larger rings use one flat
+// heap block.
+#ifndef SNAPSTAB_SIM_RING_HPP
+#define SNAPSTAB_SIM_RING_HPP
+
+#include <bit>
+#include <cstddef>
+#include <memory>
+
+#include "common/check.hpp"
+#include "msg/message.hpp"
+
+namespace snapstab::sim {
+
+class MessageRing {
+ public:
+  static constexpr std::size_t kInlineSlots = 4;
+
+  MessageRing() = default;
+  explicit MessageRing(std::size_t min_slots) { reserve_slots(min_slots); }
+
+  // Moving transfers the heap block (if any) and copies the inline slots;
+  // the moved-from ring is left empty.
+  MessageRing(MessageRing&& other) noexcept { steal(other); }
+  MessageRing& operator=(MessageRing&& other) noexcept {
+    if (this != &other) steal(other);
+    return *this;
+  }
+  MessageRing(const MessageRing&) = delete;
+  MessageRing& operator=(const MessageRing&) = delete;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t slots() const noexcept { return cap_; }
+  bool full() const noexcept { return size_ == cap_; }
+
+  // Grows the ring to at least `min_slots` slots (next power of two).
+  void reserve_slots(std::size_t min_slots) {
+    if (min_slots > cap_) grow_to(std::bit_ceil(min_slots));
+  }
+
+  // Appends; the caller enforces any capacity policy (a bounded Channel
+  // refuses before calling, an unbounded one lets the ring double).
+  void push_back(const Message& m) {
+    if (size_ == cap_) grow_to(cap_ * 2);
+    data()[(head_ + size_) & (cap_ - 1)] = m;
+    ++size_;
+  }
+
+  // Removes and returns the head by value. Requires !empty().
+  Message pop_front() noexcept {
+    SNAPSTAB_CHECK(size_ > 0);
+    const Message m = data()[head_];
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
+    return m;
+  }
+
+  const Message& front() const noexcept {
+    SNAPSTAB_CHECK(size_ > 0);
+    return data()[head_];
+  }
+
+  // Logical indexing: operator[](0) is the head, operator[](size()-1) the
+  // most recently pushed message.
+  const Message& operator[](std::size_t i) const noexcept {
+    SNAPSTAB_CHECK(i < size_);
+    return data()[(head_ + i) & (cap_ - 1)];
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  Message* data() noexcept { return heap_ ? heap_.get() : inline_; }
+  const Message* data() const noexcept {
+    return heap_ ? heap_.get() : inline_;
+  }
+
+  void grow_to(std::size_t new_cap) {
+    new_cap = std::bit_ceil(new_cap < kInlineSlots ? kInlineSlots : new_cap);
+    if (new_cap <= cap_) return;
+    auto fresh = std::make_unique<Message[]>(new_cap);
+    for (std::size_t i = 0; i < size_; ++i)
+      fresh[i] = data()[(head_ + i) & (cap_ - 1)];
+    heap_ = std::move(fresh);
+    cap_ = new_cap;
+    head_ = 0;
+  }
+
+  void steal(MessageRing& other) noexcept {
+    heap_ = std::move(other.heap_);
+    if (!heap_)
+      for (std::size_t i = 0; i < kInlineSlots; ++i)
+        inline_[i] = other.inline_[i];
+    cap_ = other.cap_;
+    head_ = other.head_;
+    size_ = other.size_;
+    other.heap_.reset();
+    other.cap_ = kInlineSlots;
+    other.head_ = 0;
+    other.size_ = 0;
+  }
+
+  Message inline_[kInlineSlots];
+  std::unique_ptr<Message[]> heap_;
+  std::size_t cap_ = kInlineSlots;  // always a power of two
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace snapstab::sim
+
+#endif  // SNAPSTAB_SIM_RING_HPP

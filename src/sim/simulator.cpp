@@ -52,6 +52,7 @@ std::uint64_t next_instance_id() {
 Simulator::Simulator(Topology topology, std::size_t channel_capacity,
                      std::uint64_t seed)
     : instance_id_(next_instance_id()),
+      pool_(&current_string_pool()),
       network_(std::move(topology), channel_capacity) {
   const int n = network_.process_count();
   Rng seeder(seed);
@@ -155,8 +156,9 @@ bool Simulator::execute(const Step& step) {
     }
     case StepKind::Deliver: {
       const EdgeId e = network_.topology().edge_between(step.src, step.target);
-      auto msg = network_.edge_channel(e).pop();
-      if (!msg.has_value()) return false;
+      Channel& ch = network_.edge_channel(e);
+      if (ch.empty()) return false;
+      const Message msg = ch.pop();  // flat copy, no optional wrapper
       Process& p = process(step.target);
       SNAPSTAB_CHECK_MSG(!p.busy(),
                          "scheduler delivered to a process busy in its CS");
@@ -164,18 +166,18 @@ bool Simulator::execute(const Step& step) {
       const int index = network_.topology().edge_index_at_dst(e);
       if (recording_) {
         recorded_activations_[static_cast<std::size_t>(step.target)].push_back(
-            Activation{StepKind::Deliver, index, *msg});
-        recorded_deliveries_[static_cast<std::size_t>(e)].push_back(*msg);
+            Activation{StepKind::Deliver, index, msg});
+        recorded_deliveries_[static_cast<std::size_t>(e)].push_back(msg);
       }
       SimContext ctx(*this, step.target);
-      p.on_message(ctx, index, *msg);
+      p.on_message(ctx, index, msg);
       refresh_process(step.target);
       return true;
     }
     case StepKind::Lose: {
       Channel& ch = network_.channel(step.src, step.target);
-      auto msg = ch.pop();
-      if (!msg.has_value()) return false;
+      if (ch.empty()) return false;
+      ch.drop_head();
       ++metrics_.adversary_losses;
       return true;
     }
@@ -186,6 +188,9 @@ bool Simulator::execute(const Step& step) {
 Simulator::StopReason Simulator::run(
     std::uint64_t max_steps, const std::function<bool(Simulator&)>& stop) {
   SNAPSTAB_CHECK_MSG(scheduler_ != nullptr, "no scheduler installed");
+  // Text payloads created by protocol code during this run intern into the
+  // simulator's pool, wherever the driving thread came from.
+  ScopedStringPool pool_scope(*pool_);
   // Process state may have been mutated since the last step (new requests,
   // fuzzed variables, adversary strikes) — resynchronize the index once.
   reconcile_enabled_index();

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/fenwick.hpp"
+#include "msg/strpool.hpp"
 #include "sim/network.hpp"
 #include "sim/process.hpp"
 #include "sim/scheduler.hpp"
@@ -88,6 +89,12 @@ class Simulator final : private NetworkListener {
   // lets per-simulator caches in schedulers detect a simulator change.
   std::uint64_t instance_id() const noexcept { return instance_id_; }
 
+  // The StringPool this simulator's text payloads are interned in — the
+  // thread's current pool at construction time. run() re-installs it as the
+  // current pool for the duration, so a simulator driven from a different
+  // thread (the parallel trial harness) keeps one consistent id space.
+  StringPool& string_pool() const noexcept { return *pool_; }
+
   // Executes one explicit step. Returns false when the step was a no-op
   // (e.g., delivering from an empty channel); the step still counts.
   bool execute(const Step& step);
@@ -127,6 +134,7 @@ class Simulator final : private NetworkListener {
   void refresh_deliverable(EdgeId e);
 
   std::uint64_t instance_id_;
+  StringPool* pool_;
   Network network_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Rng> process_rngs_;

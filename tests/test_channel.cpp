@@ -1,5 +1,7 @@
 // test_channel.cpp — channel semantics: FIFO order, bounded capacity with
 // loss-on-full (the paper's Section-4 rule), unbounded mode for Section 3.
+// Ring-buffer mechanics (wrap-around, growth, listener transitions) are in
+// test_channel_ring.cpp.
 #include <gtest/gtest.h>
 
 #include "sim/channel.hpp"
@@ -13,16 +15,14 @@ TEST(Channel, StartsEmpty) {
   Channel ch(1);
   EXPECT_TRUE(ch.empty());
   EXPECT_EQ(ch.size(), 0u);
-  EXPECT_FALSE(ch.pop().has_value());
 }
 
 TEST(Channel, FifoOrder) {
   Channel ch(5);
   for (int i = 0; i < 5; ++i) EXPECT_TRUE(ch.push(msg(i)));
   for (int i = 0; i < 5; ++i) {
-    auto m = ch.pop();
-    ASSERT_TRUE(m.has_value());
-    EXPECT_EQ(m->b.as_int(), i);
+    ASSERT_FALSE(ch.empty());
+    EXPECT_EQ(ch.pop().b.as_int(), i);
   }
   EXPECT_TRUE(ch.empty());
 }
@@ -34,9 +34,8 @@ TEST(Channel, SendIntoFullChannelLosesTheSentMessage) {
   EXPECT_TRUE(ch.push(msg(1)));
   EXPECT_FALSE(ch.push(msg(2)));
   EXPECT_EQ(ch.size(), 1u);
-  auto m = ch.pop();
-  ASSERT_TRUE(m.has_value());
-  EXPECT_EQ(m->b.as_int(), 1);  // the old message survived, the new one died
+  ASSERT_FALSE(ch.empty());
+  EXPECT_EQ(ch.pop().b.as_int(), 1);  // the old message survived, the new one died
   EXPECT_EQ(ch.stats().lost_on_full, 1u);
 }
 
@@ -64,17 +63,20 @@ TEST(Channel, PeekDoesNotConsume) {
   ch.push(msg(7));
   EXPECT_EQ(ch.peek().b.as_int(), 7);
   EXPECT_EQ(ch.size(), 1u);
-  EXPECT_EQ(ch.pop()->b.as_int(), 7);
+  EXPECT_EQ(ch.pop().b.as_int(), 7);
 }
 
 TEST(Channel, ContentsExposeQueueInOrder) {
   Channel ch(3);
   ch.push(msg(1));
   ch.push(msg(2));
-  const auto& q = ch.contents();
+  const auto q = ch.contents();
   ASSERT_EQ(q.size(), 2u);
   EXPECT_EQ(q[0].b.as_int(), 1);
   EXPECT_EQ(q[1].b.as_int(), 2);
+  int expected = 1;
+  for (const Message& m : q) EXPECT_EQ(m.b.as_int(), expected++);
+  EXPECT_EQ(expected, 3);
 }
 
 TEST(Channel, ClearEmptiesWithoutCountingPops) {
@@ -98,6 +100,20 @@ TEST(Channel, StatsCountAllTraffic) {
   EXPECT_EQ(st.pushed, 2u);
   EXPECT_EQ(st.lost_on_full, 1u);
   EXPECT_EQ(st.popped, 2u);
+  EXPECT_EQ(st.dropped, 0u);
+}
+
+TEST(Channel, DropsAreAccountedSeparatelyFromDeliveries) {
+  Channel ch(3);
+  ch.push(msg(1));
+  ch.push(msg(2));
+  ch.push(msg(3));
+  ch.drop_head();                    // the adversary eats msg(1)
+  EXPECT_EQ(ch.pop().b.as_int(), 2); // deliveries continue in FIFO order
+  const auto& st = ch.stats();
+  EXPECT_EQ(st.popped, 1u);
+  EXPECT_EQ(st.dropped, 1u);
+  EXPECT_EQ(ch.size(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,152 @@
+// test_channel_ring.cpp — mechanics of the ring-buffer channel storage:
+// wrap-around at capacity, unbounded growth past the initial reserve,
+// clear()'s listener transition, the full-channel loss rule at the wrap
+// boundary, and the POD contract the zero-allocation hot path rests on.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/ring.hpp"
+
+namespace snapstab::sim {
+namespace {
+
+Message msg(int tag) {
+  return Message::pif(Value::integer(tag), Value::none(), tag, -tag);
+}
+
+// The zero-allocation contract: messages move as flat words.
+static_assert(std::is_trivially_copyable_v<Message>);
+static_assert(std::is_trivially_copyable_v<Value>);
+
+TEST(MessageRing, WrapsAroundAtCapacity) {
+  MessageRing ring(4);  // power of two, no growth below 5 elements
+  // Interleave pushes and pops so head walks around the buffer repeatedly.
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (ring.size() < 4) ring.push_back(msg(next_push++));
+    ASSERT_TRUE(ring.full());
+    ring.pop_front();  // drop return value: head advances
+    ++next_pop;
+    ASSERT_EQ(ring.front().b.as_int(), next_pop);
+  }
+  // FIFO order held across every wrap.
+  while (!ring.empty()) EXPECT_EQ(ring.pop_front().b.as_int(), next_pop++);
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(MessageRing, GrowsPastInitialReserveAndRelinearizes) {
+  MessageRing ring;  // inline storage only
+  EXPECT_EQ(ring.slots(), MessageRing::kInlineSlots);
+  // Skew the head so growth must re-linearize a wrapped buffer.
+  for (int i = 0; i < 3; ++i) ring.push_back(msg(-1));
+  for (int i = 0; i < 3; ++i) ring.pop_front();
+  for (int i = 0; i < 100; ++i) ring.push_back(msg(i));
+  EXPECT_EQ(ring.size(), 100u);
+  EXPECT_GE(ring.slots(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring[static_cast<std::size_t>(i)].b.as_int(), i);
+  }
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(ring.pop_front().b.as_int(), i);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(MessageRing, IndexingFollowsHeadAcrossWraps) {
+  MessageRing ring(4);
+  for (int i = 0; i < 3; ++i) ring.push_back(msg(i));
+  ring.pop_front();
+  ring.pop_front();
+  ring.push_back(msg(3));
+  ring.push_back(msg(4));  // physically wrapped now
+  ASSERT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring[0].b.as_int(), 2);
+  EXPECT_EQ(ring[1].b.as_int(), 3);
+  EXPECT_EQ(ring[2].b.as_int(), 4);
+}
+
+class RecordingListener final : public ChannelListener {
+ public:
+  void channel_transition(int tag, bool nonempty) override {
+    events.emplace_back(tag, nonempty);
+  }
+  std::vector<std::pair<int, bool>> events;
+};
+
+TEST(ChannelRing, ClearFiresExactlyOneEmptyTransition) {
+  Channel ch(3);
+  RecordingListener listener;
+  ch.bind_listener(&listener, 17);
+  ch.push(msg(1));
+  ch.push(msg(2));
+  ASSERT_EQ(listener.events.size(), 1u);  // the empty -> nonempty edge
+  EXPECT_EQ(listener.events[0], std::make_pair(17, true));
+  ch.clear();
+  ASSERT_EQ(listener.events.size(), 2u);
+  EXPECT_EQ(listener.events[1], std::make_pair(17, false));
+  ch.clear();  // already empty: no transition
+  EXPECT_EQ(listener.events.size(), 2u);
+}
+
+TEST(ChannelRing, TransitionsTrackOccupancyThroughWraps) {
+  Channel ch(2);
+  RecordingListener listener;
+  ch.bind_listener(&listener, 5);
+  for (int round = 0; round < 10; ++round) {
+    ch.push(msg(round));
+    ch.pop();
+  }
+  ASSERT_EQ(listener.events.size(), 20u);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(listener.events[static_cast<std::size_t>(2 * round)].second);
+    EXPECT_FALSE(
+        listener.events[static_cast<std::size_t>(2 * round + 1)].second);
+  }
+}
+
+TEST(ChannelRing, FullChannelLossRuleHoldsAtWrapBoundary) {
+  Channel ch(2);
+  ch.push(msg(1));
+  ch.push(msg(2));
+  // Walk the ring: pop one, push one, so the full condition is repeatedly
+  // evaluated with a moving head.
+  for (int i = 3; i <= 10; ++i) {
+    EXPECT_FALSE(ch.push(msg(99)));  // full: the sent message dies
+    EXPECT_EQ(ch.size(), 2u);
+    EXPECT_EQ(ch.pop().b.as_int(), i - 2);
+    EXPECT_TRUE(ch.push(msg(i)));
+  }
+  EXPECT_EQ(ch.stats().lost_on_full, 8u);
+  EXPECT_EQ(ch.pop().b.as_int(), 9);
+  EXPECT_EQ(ch.pop().b.as_int(), 10);
+}
+
+TEST(ChannelRing, UnboundedChannelGrowsWithoutRefusingOrReordering) {
+  Channel ch(Channel::kUnbounded);
+  RecordingListener listener;
+  ch.bind_listener(&listener, 1);
+  for (int i = 0; i < 5000; ++i) ASSERT_TRUE(ch.push(msg(i)));
+  EXPECT_EQ(ch.size(), 5000u);
+  EXPECT_EQ(listener.events.size(), 1u);  // one empty -> nonempty edge only
+  for (int i = 0; i < 5000; ++i) ASSERT_EQ(ch.pop().b.as_int(), i);
+  ASSERT_EQ(listener.events.size(), 2u);
+  EXPECT_FALSE(listener.events[1].second);
+}
+
+TEST(ChannelRing, ContentsViewIteratesWrappedStorage) {
+  Channel ch(4);
+  for (int i = 0; i < 4; ++i) ch.push(msg(i));
+  ch.pop();
+  ch.pop();
+  ch.push(msg(4));
+  ch.push(msg(5));  // wrapped
+  std::vector<std::int64_t> seen;
+  for (const Message& m : ch.contents()) seen.push_back(m.b.as_int());
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace snapstab::sim

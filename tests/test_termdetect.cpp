@@ -206,8 +206,10 @@ TEST(TermDetect, SurvivesFuzzedProtocolState) {
         if (s == d) continue;
         auto& ch = w.sim->network().channel(s, d);
         std::vector<Message> keep;
-        while (auto m = ch.pop())
-          if (m->kind != MsgKind::App) keep.push_back(*m);
+        while (!ch.empty()) {
+          const Message m = ch.pop();
+          if (m.kind != MsgKind::App) keep.push_back(m);
+        }
         for (const auto& m : keep) ch.push(m);
       }
     w.apps[0]->held.push_back(4);  // one live token at the start
