@@ -47,10 +47,22 @@ auto run_trials(int trials, int threads, Fn&& fn)
     -> std::vector<std::invoke_result_t<Fn&, int>> {
   using Result = std::invoke_result_t<Fn&, int>;
   static_assert(std::is_default_constructible_v<Result>);
+  // vector<bool> packs results into shared words — concurrent writes to
+  // results[t] from different workers would race. Return a struct instead.
+  static_assert(!std::is_same_v<Result, bool>,
+                "trial results must not be bool (vector<bool> slots share "
+                "words across workers); wrap the flag in a struct");
   std::vector<Result> results(static_cast<std::size_t>(trials > 0 ? trials
                                                                   : 0));
   if (trials <= 0) return results;
+  if (threads > trials) threads = trials;  // callers may pass a raw --threads
 
+  // Work claiming is a single shared counter, not a static partition: every
+  // trial index in [0, trials) is claimed exactly once whatever the
+  // trials-to-threads ratio (7 trials on 3 threads leaves no tail slice
+  // skipped or double-run), and each result lands in its own trial-indexed
+  // slot. Determinism then rests solely on fn deriving its randomness from
+  // the trial index.
   std::atomic<int> next{0};
   const auto worker = [&]() {
     StringPool pool;  // one Simulator + one pool per worker thread

@@ -168,6 +168,68 @@ SpecReport check_idl_spec(
   return report;
 }
 
+SpecReport check_forward_spec(const sim::Simulator& sim,
+                              const ForwardSpecOptions& options) {
+  SpecReport report;
+  ScopedStringPool pool_scope(sim.string_pool());
+  const auto& events = sim.log().events();
+
+  // A routed payload is identified by (origin, destination, payload). The
+  // service carries a sequence number on the wire, but the submission event
+  // predates it conceptually — the checker therefore matches multisets, so
+  // two identical submissions demand two deliveries.
+  struct Route {
+    sim::ProcessId origin;
+    sim::ProcessId dst;
+    std::string payload;
+
+    auto operator<=>(const Route&) const = default;
+  };
+  std::map<Route, std::uint64_t> submitted;
+  std::map<Route, std::uint64_t> delivered;
+  for (const auto& e : events) {
+    if (e.layer != sim::Layer::Service) continue;
+    if (e.kind == sim::ObsKind::FwdSubmit)
+      ++submitted[Route{e.process, e.peer, e.value.to_string()}];
+    else if (e.kind == sim::ObsKind::FwdDeliver)
+      ++delivered[Route{e.peer, e.process, e.value.to_string()}];
+  }
+
+  std::uint64_t ghosts = 0;
+  for (const auto& [route, count] : delivered) {
+    const auto it = submitted.find(route);
+    const std::uint64_t wanted = it != submitted.end() ? it->second : 0;
+    if (wanted == 0) {
+      ghosts += count;
+    } else if (count > wanted) {
+      report.add(fmt("p%d -> p%d payload %s delivered %llu time(s), "
+                     "submitted %llu time(s) — duplicate delivery",
+                     route.origin, route.dst, route.payload.c_str(),
+                     static_cast<unsigned long long>(count),
+                     static_cast<unsigned long long>(wanted)));
+    }
+  }
+  if (options.require_all_delivered) {
+    for (const auto& [route, count] : submitted) {
+      const auto it = delivered.find(route);
+      const std::uint64_t got = it != delivered.end() ? it->second : 0;
+      if (got < count)
+        report.add(fmt("p%d -> p%d payload %s submitted %llu time(s) but "
+                       "delivered only %llu time(s)",
+                       route.origin, route.dst, route.payload.c_str(),
+                       static_cast<unsigned long long>(count),
+                       static_cast<unsigned long long>(got)));
+    }
+  }
+  if (ghosts > options.max_ghost_deliveries)
+    report.add(fmt("%llu ghost delivery(ies), at most %llu corrupted initial "
+                   "entries could account for them",
+                   static_cast<unsigned long long>(ghosts),
+                   static_cast<unsigned long long>(
+                       options.max_ghost_deliveries)));
+  return report;
+}
+
 SpecReport check_me_spec(const sim::Simulator& sim,
                          const MeSpecOptions& options) {
   SpecReport report;

@@ -71,6 +71,35 @@ struct MeSpecOptions {
   bool require_liveness = true;
 };
 
+struct ForwardSpecOptions {
+  // Require every accepted submission to have been delivered by the end of
+  // the run; disable for runs cut off by a tight step budget.
+  bool require_all_delivered = true;
+  // Deliveries matching no submission are ghosts: payloads already sitting
+  // in corrupted channel buffers or per-hop queues when the run started.
+  // Snap-stabilization cannot prevent them (the paper's §4.1 remark about
+  // unexpected events) but it bounds them: each corrupted entry surfaces at
+  // most once. Pass the corrupted-entry count observed at fuzz time; every
+  // ghost beyond it is a violation, as is any ghost when the run started
+  // clean (the default 0).
+  std::uint64_t max_ghost_deliveries = 0;
+};
+
+// Checks the forwarding-service specification over the whole run: every
+// accepted submission (FwdSubmit at the origin, peer = destination) is
+// matched by exactly one delivery (FwdDeliver at the destination, peer =
+// origin) of the same payload — no loss, no duplication, no delivery at the
+// wrong process — and unmatched deliveries stay within the ghost budget.
+//
+// Matching is by (origin, destination, payload) multisets. A ghost whose
+// forged header and payload collide with a genuine submission is
+// indistinguishable from it: it shows up as a spurious duplicate, or —
+// if the genuine copy was itself mishandled — stands in for it. Drive
+// the checker with payloads that fuzzed garbage cannot produce; the
+// suites use integers >= 10^6, outside Value::random's range.
+SpecReport check_forward_spec(const sim::Simulator& sim,
+                              const ForwardSpecOptions& options = {});
+
 // Checks Specification 3. CS intervals are reconstructed from CsEnter /
 // CsExit events; a CsExit without a preceding CsEnter is a ghost interval
 // that was already running in the initial configuration. Correctness

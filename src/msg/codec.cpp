@@ -36,9 +36,16 @@ void put_value(std::vector<std::uint8_t>& out, const Value& v,
     put_u8(out, 2);
     put_u8(out, static_cast<std::uint8_t>(v.as_token()));
   } else {
-    // The only place interned text leaves the pool: id -> bytes.
+    // The only place interned text leaves the pool: id -> bytes. A StrId
+    // minted by a *different* pool must not be applied to `pool` (same id,
+    // unrelated string — silent aliasing); resolve it against its minting
+    // pool, or to the empty string when that pool no longer exists.
     put_u8(out, 3);
-    const std::string& s = pool.str(v.text_id());
+    const StringPool* source = &pool;
+    if (v.text_pool_tag() != pool.tag())
+      source = StringPool::find_by_tag(v.text_pool_tag());
+    const std::string& s =
+        source != nullptr ? source->str(v.text_id()) : kEmptyText;
     put_i32(out, static_cast<std::int32_t>(s.size()));
     out.insert(out.end(), s.begin(), s.end());
   }
@@ -100,11 +107,13 @@ struct Reader {
         if (len < 0 || static_cast<std::uint32_t>(len) > kMaxTextLength)
           return false;
         if (pos + static_cast<std::size_t>(len) > size) return false;
-        // The only place wire text enters the pool: bytes -> id.
+        // The only place wire text enters the pool: bytes -> id. The id is
+        // tagged with the pool it was re-interned into, not the calling
+        // thread's current pool.
         const std::string_view s(reinterpret_cast<const char*>(data + pos),
                                  static_cast<std::size_t>(len));
         pos += static_cast<std::size_t>(len);
-        out = Value::text_id(pool.intern(s));
+        out = Value::text_id(pool.intern(s), pool);
         return true;
       }
       default:
@@ -132,7 +141,7 @@ std::optional<Message> decode(const std::uint8_t* data, std::size_t size,
   std::uint8_t kind = 0;
   Message m;
   if (!r.u8(kind)) return std::nullopt;
-  if (kind > static_cast<std::uint8_t>(MsgKind::App)) return std::nullopt;
+  if (kind > static_cast<std::uint8_t>(MsgKind::FwdEcho)) return std::nullopt;
   m.kind = static_cast<MsgKind>(kind);
   if (!r.i32(m.state)) return std::nullopt;
   if (!r.i32(m.neig_state)) return std::nullopt;

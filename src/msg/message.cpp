@@ -12,8 +12,26 @@ const char* msg_kind_name(MsgKind k) noexcept {
     case MsgKind::SeqBrd: return "SBRD";
     case MsgKind::SeqFck: return "SFCK";
     case MsgKind::App: return "APP";
+    case MsgKind::FwdData: return "FDAT";
+    case MsgKind::FwdEcho: return "FECH";
   }
   return "?";
+}
+
+std::int64_t pack_fwd_header(const FwdHeader& h) noexcept {
+  const auto seq = static_cast<std::uint64_t>(h.seq) & 0xFFFFFu;
+  const auto dst = static_cast<std::uint64_t>(h.dst) & 0xFFFFu;
+  const auto origin = static_cast<std::uint64_t>(h.origin) & 0xFFFFu;
+  return static_cast<std::int64_t>(seq | (dst << 20) | (origin << 36));
+}
+
+FwdHeader unpack_fwd_header(std::int64_t v) noexcept {
+  const auto u = static_cast<std::uint64_t>(v);
+  FwdHeader h;
+  h.seq = static_cast<std::uint32_t>(u & 0xFFFFFu);
+  h.dst = static_cast<int>((u >> 20) & 0xFFFFu);
+  h.origin = static_cast<int>((u >> 36) & 0xFFFFu);
+  return h;
 }
 
 std::string Message::to_string() const {
@@ -46,6 +64,41 @@ Message Message::random(Rng& rng, std::int32_t flag_limit, bool wild) {
     m.neig_state = static_cast<std::int32_t>(rng.range(0, flag_limit));
   }
   return m;
+}
+
+Message Message::random_forward(Rng& rng, std::int32_t flag_limit, int n,
+                                bool wild) {
+  switch (rng.below(8)) {
+    case 6: {
+      Message m;
+      m.kind = MsgKind::FwdData;
+      m.b = Value::random(rng);
+      // Mostly plausible headers (so corrupted buffers actually exercise the
+      // ghost-suppression path), sometimes raw garbage.
+      if (n > 0 && !rng.chance(0.25)) {
+        FwdHeader h;
+        h.origin = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+        h.dst = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+        h.seq = static_cast<std::uint32_t>(rng.below(1u << 20));
+        m.f = Value::integer(pack_fwd_header(h));
+      } else {
+        m.f = Value::random(rng);
+      }
+      m.state = wild ? static_cast<std::int32_t>(rng.next())
+                     : static_cast<std::int32_t>(rng.range(0, flag_limit));
+      m.neig_state = 0;
+      return m;
+    }
+    case 7: {
+      Message m;
+      m.kind = MsgKind::FwdEcho;
+      m.state = wild ? static_cast<std::int32_t>(rng.next())
+                     : static_cast<std::int32_t>(rng.range(0, flag_limit));
+      return m;
+    }
+    default:
+      return random(rng, flag_limit, wild);
+  }
 }
 
 }  // namespace snapstab

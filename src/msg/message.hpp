@@ -35,9 +35,30 @@ enum class MsgKind : std::uint8_t {
   SeqBrd,
   SeqFck,
   App,
+  FwdData,  // forwarding service: payload hop transfer (core/forward.hpp)
+  FwdEcho,  // forwarding service: hop acknowledgement echo
 };
 
 const char* msg_kind_name(MsgKind k) noexcept;
+
+// Routing header of the forwarding service, packed into one integer Value
+// (the f slot of a FwdData message) so a routed payload still fits the flat
+// 48-byte Message:
+//   bits 0..19   seq    (20 bits, wraps)
+//   bits 20..35  dst    (16 bits)
+//   bits 36..51  origin (16 bits)
+// unpack is total: any int64 yields some header; out-of-range process ids
+// are the receiver's problem (it validates against its topology).
+struct FwdHeader {
+  int origin = 0;
+  int dst = 0;
+  std::uint32_t seq = 0;
+
+  bool operator==(const FwdHeader&) const = default;
+};
+
+std::int64_t pack_fwd_header(const FwdHeader& h) noexcept;
+FwdHeader unpack_fwd_header(std::int64_t v) noexcept;
 
 struct Message {
   Value b;                     // broadcast payload (B-Mes)
@@ -69,12 +90,32 @@ struct Message {
   static Message app(Value payload) {
     return Message{payload, Value::none(), 0, 0, MsgKind::App};
   }
+  // Forwarding-service hop transfer: `payload` rides in b, the packed
+  // routing header (core/forward.hpp) in f, the hop flag in state.
+  static Message fwd_data(Value payload, std::int64_t header,
+                          std::int32_t flag) {
+    return Message{payload, Value::integer(header), flag, 0, MsgKind::FwdData};
+  }
+  static Message fwd_echo(std::int32_t flag) {
+    return Message{Value::none(), Value::none(), flag, 0, MsgKind::FwdEcho};
+  }
 
   // Arbitrary well-formed message for initial-configuration fuzzing.
   // Flags are drawn from [0, flag_limit] (pass the protocol's flag bound);
   // with `wild` they are drawn from the full int32 range instead, which
   // exercises the defensive handling of out-of-domain bytes.
+  //
+  // The kind is drawn over the six pre-forwarding kinds only: the draw
+  // sequence of this function is pinned by the golden fuzz traces. Worlds
+  // that also want corrupted forwarding traffic use random_forward().
   static Message random(Rng& rng, std::int32_t flag_limit, bool wild = false);
+
+  // Like random(), but the kind ranges over every kind including FwdData /
+  // FwdEcho, and FwdData messages usually carry a plausible packed header
+  // over `n` processes (sometimes deliberate garbage). New draw stream —
+  // never used by the pinned golden scenarios.
+  static Message random_forward(Rng& rng, std::int32_t flag_limit, int n,
+                                bool wild = false);
 };
 
 static_assert(std::is_trivially_copyable_v<Message>);

@@ -1,14 +1,47 @@
 #include "msg/strpool.hpp"
 
+#include <atomic>
 #include <mutex>
+#include <unordered_map>
 
 namespace snapstab {
 
 namespace {
 thread_local StringPool* tls_current_pool = nullptr;
+
+std::uint32_t next_pool_tag() {
+  static std::atomic<std::uint32_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;  // never 0
+}
+
+// tag -> live pool. Leaked (like global()) so lookups stay valid during
+// static teardown; pools deregister themselves on destruction.
+std::mutex& registry_mutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+std::unordered_map<std::uint32_t, StringPool*>& registry() {
+  static auto* map = new std::unordered_map<std::uint32_t, StringPool*>();
+  return *map;
+}
 }  // namespace
 
-StringPool::StringPool() { intern(std::string_view{}); }
+StringPool::StringPool() : tag_(next_pool_tag()) {
+  intern(std::string_view{});
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().emplace(tag_, this);
+}
+
+StringPool::~StringPool() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().erase(tag_);
+}
+
+StringPool* StringPool::find_by_tag(std::uint32_t tag) noexcept {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(tag);
+  return it != registry().end() ? it->second : nullptr;
+}
 
 StrId StringPool::intern(std::string_view s) {
   {

@@ -46,6 +46,7 @@ inline const std::string kEmptyText{};
 class StringPool {
  public:
   StringPool();  // pre-interns "" as id 0
+  ~StringPool();
 
   StringPool(const StringPool&) = delete;
   StringPool& operator=(const StringPool&) = delete;
@@ -61,11 +62,26 @@ class StringPool {
   // Number of distinct strings interned (including the empty string).
   std::size_t size() const noexcept;
 
+  // Process-unique id-space tag (never 0, never reused). A text Value
+  // records the tag of the pool its StrId was minted in, which is what lets
+  // the resolver and the codec detect — instead of silently aliasing — a
+  // StrId applied to the wrong pool.
+  std::uint32_t tag() const noexcept { return tag_; }
+
+  // The live pool carrying `tag`, or nullptr when it has been destroyed.
+  // Used by the cross-pool slow paths; the hot paths compare tags only.
+  // The returned pointer is NOT lifetime-protected: it is only safe to
+  // dereference while the pool is known to stay alive (the callers are
+  // defensive paths for same-thread rule violations; a pool being
+  // destroyed concurrently by another thread is still a race).
+  static StringPool* find_by_tag(std::uint32_t tag) noexcept;
+
   // The process-wide default pool. Never destroyed (intentionally leaked),
   // so ids interned into it stay resolvable during static teardown.
   static StringPool& global();
 
  private:
+  const std::uint32_t tag_;
   mutable std::shared_mutex mu_;
   std::deque<std::string> strings_;  // stable addresses, append-only
   std::unordered_map<std::string_view, StrId> index_;  // views into strings_

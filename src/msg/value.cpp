@@ -22,7 +22,20 @@ const char* token_name(Token t) noexcept {
 
 const std::string& Value::as_text() const noexcept {
   if (!is_text()) return kEmptyText;
-  return current_string_pool().str(payload_.s);
+  StringPool& current = current_string_pool();
+  if (payload_.s.pool == current.tag()) return current.str(payload_.s.id);
+  // Minted in a different pool: resolve there instead of aliasing whatever
+  // string happens to own this id in the current pool.
+  const StringPool* minted = StringPool::find_by_tag(payload_.s.pool);
+  return minted != nullptr ? minted->str(payload_.s.id) : kEmptyText;
+}
+
+bool Value::cross_pool_text_equal(const Value& a, const Value& b) noexcept {
+  const StringPool* pa = StringPool::find_by_tag(a.payload_.s.pool);
+  const StringPool* pb = StringPool::find_by_tag(b.payload_.s.pool);
+  // A dead pool's ids name nothing anymore; nothing compares equal to them.
+  if (pa == nullptr || pb == nullptr) return false;
+  return pa->str(a.payload_.s.id) == pb->str(b.payload_.s.id);
 }
 
 std::string Value::to_string() const {

@@ -63,10 +63,18 @@ class Value {
   static Value token(Token t) { return Value(t); }
   // Interns `s` into the calling thread's current StringPool.
   static Value text(std::string_view s) {
-    return Value(current_string_pool().intern(s));
+    StringPool& pool = current_string_pool();
+    return Value(pool.intern(s), pool.tag());
   }
-  // Wraps an id already interned (codec decode, pre-interned hot paths).
-  static Value text_id(StrId id) { return Value(id); }
+  // Wraps an id already interned into the calling thread's current pool
+  // (pre-interned hot paths).
+  static Value text_id(StrId id) {
+    return Value(id, current_string_pool().tag());
+  }
+  // Wraps an id already interned into a specific pool (codec decode).
+  static Value text_id(StrId id, const StringPool& pool) {
+    return Value(id, pool.tag());
+  }
 
   bool is_none() const noexcept { return kind_ == Kind::None; }
   bool is_int() const noexcept { return kind_ == Kind::Int; }
@@ -82,25 +90,38 @@ class Value {
   Token as_token(Token fallback = Token::Ok) const noexcept {
     return is_token() ? payload_.t : fallback;
   }
-  // Resolves against the calling thread's current StringPool; falls back to
-  // the namespace-level kEmptyText constant (never a function-local).
+  // Resolves against the pool the id was minted in: the calling thread's
+  // current StringPool on the fast path, the minting pool (via its tag)
+  // when they differ, kEmptyText when that pool is gone. A StrId is never
+  // applied to a foreign pool — crossing id spaces silently aliased before
+  // the tags existed.
   const std::string& as_text() const noexcept;
   // The interned id (0, the empty string, when not text).
-  StrId text_id() const noexcept { return is_text() ? payload_.s : StrId{0}; }
+  StrId text_id() const noexcept { return is_text() ? payload_.s.id : StrId{0}; }
+  // Tag of the pool the id was minted in (0 when not text).
+  std::uint32_t text_pool_tag() const noexcept {
+    return is_text() ? payload_.s.pool : 0u;
+  }
 
   bool is_token(Token t) const noexcept {
     return is_token() && payload_.t == t;
   }
 
-  // Compares the tag and the active payload only (ids compare equal iff the
-  // texts do — within one pool, interning is injective).
+  // Compares the tag and the active payload only. Within one pool interning
+  // is injective, so same-pool text compares by id; text from different
+  // pools lives in different id spaces and takes a slow path that compares
+  // the resolved strings (pre-tag code compared raw ids and silently
+  // aliased).
   friend bool operator==(const Value& a, const Value& b) noexcept {
     if (a.kind_ != b.kind_) return false;
     switch (a.kind_) {
       case Kind::None: return true;
       case Kind::Int: return a.payload_.i == b.payload_.i;
       case Kind::Token: return a.payload_.t == b.payload_.t;
-      case Kind::Text: return a.payload_.s == b.payload_.s;
+      case Kind::Text:
+        return a.payload_.s.pool == b.payload_.s.pool
+                   ? a.payload_.s.id == b.payload_.s.id
+                   : cross_pool_text_equal(a, b);
     }
     return false;
   }
@@ -113,15 +134,27 @@ class Value {
  private:
   enum class Kind : std::uint8_t { None, Int, Token, Text };
 
+  // An interned id plus the tag of the pool that minted it — together they
+  // name one string unambiguously across every pool in the process.
+  struct TextRef {
+    StrId id;
+    std::uint32_t pool;
+  };
+
   union Payload {
     std::int64_t i;
     Token t;
-    StrId s;
+    TextRef s;
   };
 
   explicit Value(std::int64_t v) : kind_(Kind::Int) { payload_.i = v; }
   explicit Value(Token t) : kind_(Kind::Token) { payload_.t = t; }
-  explicit Value(StrId s) : kind_(Kind::Text) { payload_.s = s; }
+  Value(StrId s, std::uint32_t pool_tag) : kind_(Kind::Text) {
+    payload_.s = TextRef{s, pool_tag};
+  }
+
+  // Resolves both sides against their minting pools (value.cpp).
+  static bool cross_pool_text_equal(const Value& a, const Value& b) noexcept;
 
   Kind kind_ = Kind::None;
   Payload payload_{};  // zero-initialized; inactive bits never compared

@@ -84,12 +84,16 @@ class Channel {
   }
 
   // Removes and discards the head message: an adversarial drop, accounted
-  // separately from deliveries. Requires !empty().
-  void drop_head() {
+  // separately from deliveries. A drop aimed at an empty channel is a no-op
+  // that counts nothing (returns false) — adversaries race deliveries, and
+  // a miss must not corrupt the conservation invariant (see Stats).
+  bool drop_head() {
+    if (ring_.empty()) return false;
     (void)ring_.pop_front();
     ++stats_.dropped;
     if (ring_.empty() && listener_ != nullptr)
       listener_->channel_transition(tag_, false);
+    return true;
   }
 
   const Message& peek() const { return ring_.front(); }  // requires !empty()
@@ -141,6 +145,7 @@ class Channel {
 
   void clear() {
     const bool was_nonempty = !ring_.empty();
+    stats_.cleared += ring_.size();
     ring_.clear();
     if (was_nonempty && listener_ != nullptr)
       listener_->channel_transition(tag_, false);
@@ -151,8 +156,21 @@ class Channel {
     std::uint64_t lost_on_full = 0;  // sends refused because the channel was full
     std::uint64_t popped = 0;        // messages removed for actual delivery
     std::uint64_t dropped = 0;       // messages removed by the loss adversary
+    std::uint64_t cleared = 0;       // messages wiped by clear() (fault bursts)
+
+    // Every accepted message leaves exactly one way.
+    std::uint64_t removed() const noexcept {
+      return popped + dropped + cleared;
+    }
   };
   const Stats& stats() const noexcept { return stats_; }
+
+  // Conservation: accepted = delivered + adversary-dropped + fault-cleared
+  // + still in flight, at every instant. The tests assert this per channel
+  // and aggregated across a whole network.
+  bool stats_consistent() const noexcept {
+    return stats_.pushed == stats_.removed() + ring_.size();
+  }
 
  private:
   std::size_t capacity_;

@@ -26,7 +26,12 @@ void fuzz(Simulator& sim, Rng& rng, const FuzzOptions& options) {
                       std::max(1, options.unbounded_messages)))
             : 1 + rng.below(ch.capacity());
     for (std::size_t i = 0; i < count; ++i)
-      ch.push(Message::random(rng, options.flag_limit, options.wild_flags));
+      ch.push(options.forward_header_n > 0
+                  ? Message::random_forward(rng, options.flag_limit,
+                                            options.forward_header_n,
+                                            options.wild_flags)
+                  : Message::random(rng, options.flag_limit,
+                                    options.wild_flags));
   }
 }
 

@@ -27,6 +27,11 @@ struct FuzzOptions {
   std::int32_t flag_limit = 4;
   // Draw flags over the whole int32 range instead (defensive-coding tests).
   bool wild_flags = false;
+  // When > 0, channel stuffing also draws forwarding-service kinds
+  // (FwdData / FwdEcho) with packed headers over this many processes —
+  // corrupted initial buffers for the forwarding layer. 0 keeps the
+  // historic draw stream, which the golden fuzz traces pin.
+  int forward_header_n = 0;
 };
 
 // Applies an arbitrary initial configuration in place.

@@ -70,6 +70,7 @@ Channel::Stats Network::aggregate_channel_stats() const {
     total.lost_on_full += s.lost_on_full;
     total.popped += s.popped;
     total.dropped += s.dropped;
+    total.cleared += s.cleared;
   }
   return total;
 }

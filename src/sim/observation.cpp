@@ -24,6 +24,8 @@ const char* obs_kind_name(ObsKind k) noexcept {
     case ObsKind::RecvFck: return "recv-fck";
     case ObsKind::CsEnter: return "cs-enter";
     case ObsKind::CsExit: return "cs-exit";
+    case ObsKind::FwdSubmit: return "fwd-submit";
+    case ObsKind::FwdDeliver: return "fwd-deliver";
   }
   return "?";
 }

@@ -34,6 +34,8 @@ enum class ObsKind : std::uint8_t {
   RecvFck,      // "receive-fck<F> from q" event
   CsEnter,      // process entered the critical section (ME)
   CsExit,       // process left the critical section (ME)
+  FwdSubmit,    // forwarding service accepted a payload (peer = destination)
+  FwdDeliver,   // forwarding service delivered a payload (peer = origin)
 };
 
 const char* layer_name(Layer l) noexcept;
@@ -44,7 +46,10 @@ struct Observation {
   ProcessId process = -1;  // global id of the emitting process
   Layer layer = Layer::Pif;
   ObsKind kind = ObsKind::Start;
-  int peer = -1;       // local channel index involved, or -1
+  // Local channel index involved, or -1 — except for the forwarding
+  // events, whose endpoints are global by nature: FwdSubmit carries the
+  // destination's process id, FwdDeliver the origin's.
+  int peer = -1;
   Value value;         // payload involved (broadcast / feedback message)
 
   std::string to_string() const;

@@ -42,7 +42,9 @@ class Context {
   // backpressure. An accepted message can still be lost by the adversary.
   virtual bool send(int channel_index, const Message& m) = 0;
 
-  // Emit a protocol-level event; `peer` is a local channel index or -1.
+  // Emit a protocol-level event; `peer` is a local channel index or -1
+  // (the forwarding-service events use it for a global process id — see
+  // sim/observation.hpp).
   virtual void observe(Layer layer, ObsKind kind, int peer,
                        const Value& value) = 0;
 

@@ -176,8 +176,7 @@ bool Simulator::execute(const Step& step) {
     }
     case StepKind::Lose: {
       Channel& ch = network_.channel(step.src, step.target);
-      if (ch.empty()) return false;
-      ch.drop_head();
+      if (!ch.drop_head()) return false;  // empty: the drop misses, no count
       ++metrics_.adversary_losses;
       return true;
     }

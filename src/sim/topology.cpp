@@ -284,4 +284,76 @@ EdgeId Topology::in_edge(ProcessId p, int local_index) const {
                                            local_index)];
 }
 
+RoutingTable::RoutingTable(const Topology& topology)
+    : n_(topology.process_count()) {
+  SNAPSTAB_CHECK_MSG(topology.connected(),
+                     "routing tables require a connected topology");
+  const auto cells = static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
+  dist_.assign(cells, -1);
+  next_index_.assign(cells, -1);
+  next_hop_.assign(cells, -1);
+
+  // One BFS per destination, over the CSR. After the distance field is
+  // known, every non-destination process picks the smallest-id neighbor
+  // that is one hop closer — a deterministic, purely topological choice.
+  std::vector<ProcessId> frontier;
+  std::vector<ProcessId> next_frontier;
+  for (ProcessId dst = 0; dst < n_; ++dst) {
+    dist_[cell(dst, dst)] = 0;
+    frontier.assign(1, dst);
+    int depth = 0;
+    while (!frontier.empty()) {
+      ++depth;
+      next_frontier.clear();
+      for (const ProcessId u : frontier)
+        for (int k = 0; k < topology.degree(u); ++k) {
+          const ProcessId v = topology.peer_of(u, k);
+          int& d = dist_[cell(v, dst)];
+          if (d < 0) {
+            d = depth;
+            next_frontier.push_back(v);
+          }
+        }
+      frontier.swap(next_frontier);
+    }
+    for (ProcessId at = 0; at < n_; ++at) {
+      if (at == dst) continue;
+      SNAPSTAB_CHECK(dist_[cell(at, dst)] > 0);
+      ProcessId best = -1;
+      int best_index = -1;
+      for (int k = 0; k < topology.degree(at); ++k) {
+        const ProcessId v = topology.peer_of(at, k);
+        if (dist_[cell(v, dst)] != dist_[cell(at, dst)] - 1) continue;
+        if (best < 0 || v < best) {
+          best = v;
+          best_index = k;
+        }
+      }
+      SNAPSTAB_CHECK(best_index >= 0);
+      next_index_[cell(at, dst)] = best_index;
+      next_hop_[cell(at, dst)] = best;
+    }
+  }
+}
+
+std::size_t RoutingTable::cell(ProcessId at, ProcessId dst) const {
+  SNAPSTAB_CHECK(at >= 0 && at < n_ && dst >= 0 && dst < n_);
+  return static_cast<std::size_t>(at) * static_cast<std::size_t>(n_) +
+         static_cast<std::size_t>(dst);
+}
+
+int RoutingTable::distance(ProcessId at, ProcessId dst) const {
+  return dist_[cell(at, dst)];
+}
+
+int RoutingTable::next_index(ProcessId at, ProcessId dst) const {
+  SNAPSTAB_CHECK_MSG(at != dst, "no next hop toward yourself");
+  return next_index_[cell(at, dst)];
+}
+
+ProcessId RoutingTable::next_hop(ProcessId at, ProcessId dst) const {
+  SNAPSTAB_CHECK_MSG(at != dst, "no next hop toward yourself");
+  return next_hop_[cell(at, dst)];
+}
+
 }  // namespace snapstab::sim

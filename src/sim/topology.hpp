@@ -104,6 +104,36 @@ class Topology {
   std::vector<int> edge_index_at_dst_;
 };
 
+// All-pairs shortest-path routing over a Topology: for every (at, dst) pair
+// the local channel index of the first hop of a shortest path. Ties are
+// broken toward the smallest next-hop process id, so the table is a pure
+// function of the graph — every process derives the identical table, which
+// is the paper's "the topology is not subject to corruption" assumption
+// extended to routes (the forwarding service treats the table as read-only
+// configuration, like the channel wiring itself).
+class RoutingTable {
+ public:
+  explicit RoutingTable(const Topology& topology);
+
+  int process_count() const noexcept { return n_; }
+
+  // Hop count of a shortest path (0 when at == dst; the topology is
+  // connected, so every pair has one).
+  int distance(ProcessId at, ProcessId dst) const;
+  // First hop of a shortest path at -> dst (requires at != dst).
+  ProcessId next_hop(ProcessId at, ProcessId dst) const;
+  // Local channel index of that first hop at `at` (requires at != dst).
+  int next_index(ProcessId at, ProcessId dst) const;
+
+ private:
+  std::size_t cell(ProcessId at, ProcessId dst) const;
+
+  int n_ = 0;
+  std::vector<int> dist_;          // n × n hop counts
+  std::vector<int> next_index_;    // n × n local indices (-1 on the diagonal)
+  std::vector<ProcessId> next_hop_;  // n × n next-hop ids (-1 on the diagonal)
+};
+
 }  // namespace snapstab::sim
 
 #endif  // SNAPSTAB_SIM_TOPOLOGY_HPP

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/forward.hpp"
 #include "core/stack.hpp"
 #include "sim/fuzz.hpp"
 #include "sim/simulator.hpp"
@@ -122,6 +123,26 @@ inline std::unique_ptr<sim::Simulator> run_me_stack() {
   return sim;
 }
 
+// The forwarding service on ring(5), capacity 1, random daemon with loss:
+// three cross-ring routes (all multi-hop), runs until every submission is
+// delivered — locks the hop-handshake traffic and the Service-layer events.
+inline std::unique_ptr<sim::Simulator> run_fwd_ring() {
+  auto sim = core::forward_world(sim::Topology::ring(5), 1, /*seed=*/17);
+  sim->set_scheduler(std::make_unique<sim::RandomScheduler>(
+      17, sim::LossOptions{.rate = 0.1, .max_consecutive = 4}));
+  core::request_forward(*sim, 0, 2, Value::integer(42));
+  core::request_forward(*sim, 3, 1, Value::integer(43));
+  core::request_forward(*sim, 4, 2, Value::integer(44));
+  sim->run(500'000, [](sim::Simulator& s) {
+    std::uint64_t delivered = 0;
+    for (int p = 0; p < s.process_count(); ++p)
+      delivered +=
+          s.process_as<core::ForwardProcess>(p).forward().delivered_count();
+    return delivered >= 3;
+  });
+  return sim;
+}
+
 inline const std::vector<Scenario>& scenarios() {
   static const std::vector<Scenario> kScenarios = {
       {"pif_n4_rand_seed7.log", run_pif_rand},
@@ -129,6 +150,7 @@ inline const std::vector<Scenario>& scenarios() {
       {"pif_n5_rr_seed3.log", run_pif_rr},
       {"pif_n4_fuzz_seed13.log", run_pif_fuzz},
       {"me_n3_rand_seed5.log", run_me_stack},
+      {"fwd_ring_n5_seed17.log", run_fwd_ring},
   };
   return kScenarios;
 }

@@ -136,6 +136,105 @@ TEST(ChannelRing, UnboundedChannelGrowsWithoutRefusingOrReordering) {
   EXPECT_FALSE(listener.events[1].second);
 }
 
+TEST(MessageRing, SurvivesRepeatedDoublingsWithAWrappedHead) {
+  // Regression for the wrap-around copy on capacity doubling: force a
+  // non-zero head before *every* growth and drive the ring through three
+  // doublings (4 -> 8 -> 16 -> 32); FIFO order must hold throughout.
+  MessageRing ring;
+  ASSERT_EQ(ring.slots(), MessageRing::kInlineSlots);
+  int next_push = 0;
+  int next_pop = 0;
+  const auto fill_to = [&](std::size_t target_size) {
+    while (ring.size() < target_size) ring.push_back(msg(next_push++));
+  };
+  const auto skew_head = [&] {
+    // Wrap the head: pop a few, push the same number back at the tail.
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(ring.pop_front().b.as_int(), next_pop++);
+      ring.push_back(msg(next_push++));
+    }
+  };
+  std::size_t expected_slots = MessageRing::kInlineSlots;
+  for (int doubling = 0; doubling < 3; ++doubling) {
+    fill_to(ring.slots());      // full, about to grow
+    skew_head();                // head != 0 at growth time
+    ASSERT_TRUE(ring.full());
+    ring.push_back(msg(next_push++));  // triggers the doubling copy
+    expected_slots *= 2;
+    ASSERT_EQ(ring.slots(), expected_slots) << "doubling " << doubling;
+    // The logical sequence is intact after re-linearization.
+    for (std::size_t i = 0; i < ring.size(); ++i)
+      ASSERT_EQ(ring[i].b.as_int(), next_pop + static_cast<int>(i));
+  }
+  while (!ring.empty()) ASSERT_EQ(ring.pop_front().b.as_int(), next_pop++);
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(ChannelRing, UnboundedChannelStatsSurviveGrowth) {
+  // Growth must not disturb the conservation counters: interleave pops so
+  // the head wraps, then grow through several doublings.
+  Channel ch(Channel::kUnbounded);
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(ch.push(msg(static_cast<int>(pushed))));
+      ++pushed;
+    }
+    ASSERT_EQ(ch.pop().b.as_int(), static_cast<std::int64_t>(popped));
+    ++popped;
+    ASSERT_TRUE(ch.stats_consistent());
+  }
+  EXPECT_EQ(ch.stats().pushed, pushed);
+  EXPECT_EQ(ch.stats().popped, popped);
+  EXPECT_EQ(ch.size(), pushed - popped);
+  while (!ch.empty()) {
+    ASSERT_EQ(ch.pop().b.as_int(), static_cast<std::int64_t>(popped));
+    ++popped;
+  }
+  EXPECT_EQ(popped, pushed);
+}
+
+TEST(ChannelRing, DropAccountingKeepsConservationUnderInterleavings) {
+  Channel ch(2);
+  // A drop aimed at an empty channel is a miss: no-op, nothing counted.
+  EXPECT_FALSE(ch.drop_head());
+  EXPECT_EQ(ch.stats().dropped, 0u);
+  ASSERT_TRUE(ch.stats_consistent());
+
+  // Interleave push / pop / drop / clear and check conservation at every
+  // step: pushed == popped + dropped + cleared + in flight.
+  std::uint64_t next = 0;
+  for (int round = 0; round < 50; ++round) {
+    ch.push(msg(static_cast<int>(next++)));
+    ASSERT_TRUE(ch.stats_consistent());
+    switch (round % 5) {
+      case 0:
+        EXPECT_TRUE(ch.drop_head());
+        break;
+      case 1:
+        if (!ch.empty()) ch.pop();
+        break;
+      case 2:
+        ch.push(msg(static_cast<int>(next++)));   // may hit the full rule
+        ch.push(msg(static_cast<int>(next++)));   // definitely full now
+        break;
+      case 3:
+        ch.clear();  // fault burst: counted as cleared, not lost
+        EXPECT_FALSE(ch.drop_head());  // empty again: drop misses
+        break;
+      default:
+        break;
+    }
+    ASSERT_TRUE(ch.stats_consistent()) << "round " << round;
+  }
+  const auto& s = ch.stats();
+  EXPECT_EQ(s.pushed, s.popped + s.dropped + s.cleared + ch.size());
+  EXPECT_GT(s.dropped, 0u);
+  EXPECT_GT(s.cleared, 0u);
+  EXPECT_GT(s.lost_on_full, 0u);  // the case-2 bursts hit the full rule
+}
+
 TEST(ChannelRing, ContentsViewIteratesWrappedStorage) {
   Channel ch(4);
   for (int i = 0; i < 4; ++i) ch.push(msg(i));

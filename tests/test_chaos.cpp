@@ -90,6 +90,16 @@ TEST_P(PifChaos, EveryPostStrikeRequestServedCorrectly) {
           events[i].value == payload)
         reached.insert(events[i].process);
     EXPECT_EQ(static_cast<int>(reached.size()), n - 1) << "round " << round;
+
+    // Channel conservation after every strike/serve cycle: everything the
+    // channels accepted was delivered, adversary-dropped, cleared by a
+    // strike, or is still in flight — drop-vs-deliver interleavings and
+    // clear() bursts must never lose count.
+    const auto stats = sim.network().aggregate_channel_stats();
+    ASSERT_EQ(stats.pushed,
+              stats.popped + stats.dropped + stats.cleared +
+                  sim.network().total_messages_in_flight())
+        << "round " << round;
   }
 }
 

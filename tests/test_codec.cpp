@@ -94,6 +94,61 @@ TEST(Codec, FuzzedBytesNeverCrash) {
   EXPECT_LT(accepted, 2000);
 }
 
+TEST(Codec, RoundTripsForwardingKinds) {
+  const Message cases[] = {
+      Message::fwd_data(Value::text("routed payload"),
+                        pack_fwd_header({3, 9, 4321}), 2),
+      Message::fwd_echo(3),
+  };
+  for (const auto& m : cases) {
+    const auto back = decode(encode(m));
+    ASSERT_TRUE(back.has_value()) << m.to_string();
+    EXPECT_EQ(*back, m) << m.to_string();
+  }
+}
+
+TEST(Codec, CrossPoolEncodeResolvesAgainstTheMintingPool) {
+  // The id-space trap of the interning refactor: "alpha" gets id 1 in pool
+  // A while "impostor" gets id 1 in pool B. Encoding an A-minted value
+  // through B used to read B's string 1 — silent aliasing. The pool tag on
+  // the value routes the encoder to the minting pool instead.
+  StringPool pool_a;
+  StringPool pool_b;
+  const StrId impostor_id = pool_b.intern("impostor");
+  Message m;
+  {
+    ScopedStringPool scope(pool_a);
+    m = Message::app(Value::text("alpha"));
+  }
+  ASSERT_EQ(m.b.text_id(), impostor_id);  // same raw id, different pool
+
+  const auto bytes = encode(m, pool_b);  // "wrong" pool on purpose
+  const auto back = decode(bytes, pool_b);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->b.as_text(), "alpha");  // not "impostor"
+
+  // Full cross-pool round trip: encode from A's id space, decode into B's.
+  // The decoded value carries a B-minted id and compares equal to the
+  // original by *text*, not by raw id.
+  const auto crossed = decode(encode(m, pool_a), pool_b);
+  ASSERT_TRUE(crossed.has_value());
+  EXPECT_EQ(crossed->b.text_pool_tag(), pool_b.tag());
+  EXPECT_EQ(crossed->b.as_text(), "alpha");
+  EXPECT_EQ(crossed->b, m.b);
+}
+
+TEST(Codec, EncodeOfADeadPoolsIdDegradesToEmptyText) {
+  Message m;
+  {
+    StringPool ephemeral;
+    ScopedStringPool scope(ephemeral);
+    m = Message::app(Value::text("does not outlive its pool"));
+  }  // ephemeral destroyed: the id names nothing now
+  const auto back = decode(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->b.as_text(), "");  // degraded, never aliased
+}
+
 TEST(Codec, EncodedSizeIsModest) {
   // Single-capacity channels move one message at a time; keep datagrams
   // small (sanity bound, not a format guarantee).

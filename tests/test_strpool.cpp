@@ -64,6 +64,55 @@ TEST(StringPool, CodecCarriesTextAcrossPools) {
   }
 }
 
+TEST(StringPool, PoolTagsAreUniqueAndRegistered) {
+  StringPool a;
+  StringPool b;
+  EXPECT_NE(a.tag(), 0u);
+  EXPECT_NE(a.tag(), b.tag());
+  EXPECT_EQ(StringPool::find_by_tag(a.tag()), &a);
+  EXPECT_EQ(StringPool::find_by_tag(b.tag()), &b);
+  std::uint32_t dead_tag = 0;
+  {
+    StringPool ephemeral;
+    dead_tag = ephemeral.tag();
+    EXPECT_EQ(StringPool::find_by_tag(dead_tag), &ephemeral);
+  }
+  EXPECT_EQ(StringPool::find_by_tag(dead_tag), nullptr);
+}
+
+TEST(StringPool, ValuesFromDifferentPoolsNeverAlias) {
+  // Same raw id, different pools, different strings: resolution and
+  // equality must follow the minting pool, not the raw id.
+  StringPool a;
+  StringPool b;
+  Value from_a;
+  Value from_b;
+  {
+    ScopedStringPool scope(a);
+    from_a = Value::text("alpha");
+  }
+  {
+    ScopedStringPool scope(b);
+    from_b = Value::text("impostor");
+  }
+  ASSERT_EQ(from_a.text_id(), from_b.text_id());  // both id 1 in their pools
+  EXPECT_NE(from_a, from_b);                      // ...but not equal
+  {
+    // Whatever pool is current, each value resolves to its own text.
+    ScopedStringPool scope(b);
+    EXPECT_EQ(from_a.as_text(), "alpha");
+    EXPECT_EQ(from_b.as_text(), "impostor");
+  }
+  // Equal text in different pools compares equal via the slow path.
+  Value also_alpha;
+  {
+    ScopedStringPool scope(b);
+    also_alpha = Value::text("alpha");
+  }
+  EXPECT_EQ(from_a, also_alpha);
+  EXPECT_EQ(also_alpha, from_a);
+}
+
 TEST(StringPool, ConcurrentInterningYieldsOneIdPerString) {
   StringPool pool;
   constexpr int kThreads = 8;
