@@ -101,10 +101,10 @@ void BM_CodecDecode(benchmark::State& state) {
 BENCHMARK(BM_CodecDecode);
 
 // Full simulator steps under a text-payload ping workload. Unlike the trio
-// above this includes the engine floor (scheduler draw, Fenwick index
-// maintenance, virtual activation dispatch), which the zero-allocation
-// message path does not touch — expect a modest ratio here and the big
-// ratios on the channel ops.
+// above this includes the engine floor (scheduler draw, enabled-index
+// maintenance, activation dispatch), which the zero-allocation message path
+// does not touch; the sealed step loop (BENCH_engine_floor.json) attacks
+// exactly that floor.
 void BM_SimulatorStepTextPing(benchmark::State& state) {
   class TextPing final : public sim::Process {
    public:
@@ -133,6 +133,89 @@ void BM_SimulatorStepTextPing(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(steps));
 }
 BENCHMARK(BM_SimulatorStepTextPing)->Arg(16);
+
+// --- engine floor (the BENCH_engine_floor.json set) ------------------------
+// The cost of one simulator step with the protocol work removed, plus a
+// breakdown trio (scheduler draw / execute / observation emit) so a future
+// regression shows up in the guilty component, not just the total.
+
+class NoopProcess final : public sim::Process {
+ public:
+  void on_tick(sim::Context&) override {}
+  void on_message(sim::Context&, int, const Message&) override {}
+  bool tick_enabled() const override { return true; }
+  void randomize(Rng&) override {}
+};
+
+void install_noop_processes(sim::Simulator& world, int n) {
+  for (int p = 0; p < n; ++p)
+    world.add_process(std::make_unique<NoopProcess>());
+}
+
+// The whole floor: sealed scheduler draw + execute dispatch + concrete
+// Context + enabled-index upkeep, with empty protocol actions.
+void BM_EngineFloorNoopStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Simulator world(n, 1, 42);
+  install_noop_processes(world, n);
+  world.set_scheduler(std::make_unique<sim::RandomScheduler>(42));
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    world.run(1024);
+    steps += 1024;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_EngineFloorNoopStep)->Arg(16);
+
+// Breakdown 1/3 — scheduler draw only: the sealed non-virtual next_step
+// against a static all-ticks-enabled world (nothing executes, so every draw
+// sees the same index state).
+void BM_EngineFloorSchedulerDraw(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Simulator world(n, 1, 42);
+  install_noop_processes(world, n);
+  world.reconcile_enabled_index();
+  sim::RandomScheduler sched(42);
+  sim::Step step;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.next_step(world, step));
+    benchmark::DoNotOptimize(step);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineFloorSchedulerDraw)->Arg(16);
+
+// Breakdown 2/3 — execute only: scripted tick steps straight into
+// execute(), no scheduler in the loop.
+void BM_EngineFloorExecuteTick(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Simulator world(n, 1, 42);
+  install_noop_processes(world, n);
+  int i = 0;
+  for (auto _ : state) {
+    world.execute(sim::Step::tick(i));
+    i = (i + 1 == n) ? 0 : i + 1;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineFloorExecuteTick)->Arg(16);
+
+// Breakdown 3/3 — observation emit only: the concrete Context's sim
+// backend appending to the log (cleared in batches to bound memory).
+void BM_EngineFloorObserveEmit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Simulator world(n, 1, 42);
+  install_noop_processes(world, n);
+  sim::Context ctx(world, 0);
+  const Value v = Value::integer(7);
+  for (auto _ : state) {
+    ctx.observe(sim::Layer::Pif, sim::ObsKind::Start, -1, v);
+    if (world.log().size() >= 8192) world.log().clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineFloorObserveEmit)->Arg(16);
 
 void BM_SimulatorStep(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -11,44 +11,9 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
-namespace {
-constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) noexcept {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);
-}
-
-Rng::result_type Rng::next() noexcept {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-std::uint64_t Rng::below(std::uint64_t bound) noexcept {
-  SNAPSTAB_CHECK(bound > 0);
-  // Lemire's nearly-divisionless unbiased bounded generation.
-  std::uint64_t x = next();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  auto lo = static_cast<std::uint64_t>(m);
-  if (lo < bound) {
-    const std::uint64_t threshold = -bound % bound;
-    while (lo < threshold) {
-      x = next();
-      m = static_cast<__uint128_t>(x) * bound;
-      lo = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
 }
 
 std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
@@ -59,19 +24,8 @@ std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
   return lo + static_cast<std::int64_t>(below(span));
 }
 
-double Rng::uniform() noexcept {
-  // 53 high-quality bits into [0, 1).
-  return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::chance(double p) noexcept {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform() < p;
-}
-
 Rng Rng::fork(std::uint64_t salt) noexcept {
-  std::uint64_t sm = s_[0] ^ rotl(salt, 29) ^ (s_[3] + 0xA3EC647659359ACDull);
+  std::uint64_t sm = s_[0] ^ rotl_(salt, 29) ^ (s_[3] + 0xA3EC647659359ACDull);
   return Rng(splitmix64(sm));
 }
 

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/check.hpp"
+
 namespace snapstab {
 
 // SplitMix64 step; used for seeding and as a cheap stateless mixer.
@@ -32,24 +34,63 @@ class Rng {
   }
 
   result_type operator()() noexcept { return next(); }
-  result_type next() noexcept;
+
+  // The draw primitives are inline: the simulator's sealed step loop draws
+  // once per step, and an out-of-line call would dominate the ~10
+  // instructions of xoshiro256**.
+  result_type next() noexcept {
+    const std::uint64_t result = rotl_(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl_(s_[3], 45);
+    return result;
+  }
 
   // Uniform integer in [0, bound), bound > 0. Uses Lemire's unbiased method.
-  std::uint64_t below(std::uint64_t bound) noexcept;
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    SNAPSTAB_CHECK(bound > 0);
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   // Uniform integer in [lo, hi] inclusive; requires lo <= hi.
   std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
 
   // Uniform double in [0, 1).
-  double uniform() noexcept;
+  double uniform() noexcept {
+    // 53 high-quality bits into [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
 
   // Bernoulli trial with probability p (clamped to [0,1]).
-  bool chance(double p) noexcept;
+  bool chance(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
 
   // Derive an independent child generator; deterministic in (state, salt).
   Rng fork(std::uint64_t salt) noexcept;
 
  private:
+  static constexpr std::uint64_t rotl_(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> s_;
 };
 

@@ -1,5 +1,9 @@
 #include "core/me.hpp"
 
+// Context method bodies (the sealed sim fast path) are inline in
+// sim/simulator.hpp; every TU calling them must see the definitions.
+#include "sim/simulator.hpp"
+
 #include "common/check.hpp"
 
 namespace snapstab::core {

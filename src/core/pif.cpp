@@ -1,5 +1,9 @@
 #include "core/pif.hpp"
 
+// Context method bodies (the sealed sim fast path) are inline in
+// sim/simulator.hpp; every TU calling them must see the definitions.
+#include "sim/simulator.hpp"
+
 #include <algorithm>
 
 #include "common/check.hpp"

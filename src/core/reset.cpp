@@ -1,5 +1,9 @@
 #include "core/reset.hpp"
 
+// Context method bodies (the sealed sim fast path) are inline in
+// sim/simulator.hpp; every TU calling them must see the definitions.
+#include "sim/simulator.hpp"
+
 namespace snapstab::core {
 
 Reset::Reset(Pif& pif, std::function<void(sim::Context&)> on_reset)

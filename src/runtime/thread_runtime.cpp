@@ -4,9 +4,10 @@
 
 namespace snapstab::runtime {
 
-// Context implementation bound to one process of the thread runtime. Only
-// ever used by the owning thread while it holds the node mutex.
-class ThreadRuntime::NodeContext final : public sim::Context {
+// Context backend bound to one process of the thread runtime. Only ever
+// used by the owning thread while it holds the node mutex; protocol code
+// reaches it through sim::Context's generic (one virtual hop) path.
+class ThreadRuntime::NodeContext final : public sim::ContextBackend {
  public:
   NodeContext(ThreadRuntime& rt, int self) : rt_(rt), self_(self) {}
 
@@ -98,7 +99,8 @@ void ThreadRuntime::thread_main(int p) {
   auto& node = *nodes_[static_cast<std::size_t>(p)];
   // Every node thread interns into the runtime's shared (thread-safe) pool.
   ScopedStringPool pool_scope(*pool_);
-  NodeContext ctx(*this, p);
+  NodeContext backend(*this, p);
+  sim::Context ctx(backend);
   while (!stop_.load(std::memory_order_relaxed)) {
     {
       std::lock_guard<std::mutex> lock(node.mu);

@@ -25,21 +25,6 @@ const Channel& Network::channel(ProcessId src, ProcessId dst) const {
   return channels_[static_cast<std::size_t>(topology_.edge_between(src, dst))];
 }
 
-Channel& Network::edge_channel(EdgeId e) {
-  SNAPSTAB_CHECK(e >= 0 && e < edge_count());
-  return channels_[static_cast<std::size_t>(e)];
-}
-
-const Channel& Network::edge_channel(EdgeId e) const {
-  SNAPSTAB_CHECK(e >= 0 && e < edge_count());
-  return channels_[static_cast<std::size_t>(e)];
-}
-
-bool Network::edge_nonempty(EdgeId e) const {
-  SNAPSTAB_CHECK(e >= 0 && e < edge_count());
-  return nonempty_[static_cast<std::size_t>(e)] != 0;
-}
-
 void Network::channel_transition(int tag, bool nonempty) {
   nonempty_[static_cast<std::size_t>(tag)] = nonempty ? 1 : 0;
   nonempty_count_ += nonempty ? 1 : -1;

@@ -51,8 +51,15 @@ class Network final : private ChannelListener {
 
   Channel& channel(ProcessId src, ProcessId dst);
   const Channel& channel(ProcessId src, ProcessId dst) const;
-  Channel& edge_channel(EdgeId e);
-  const Channel& edge_channel(EdgeId e) const;
+  // Edge-indexed channel access is on the per-step hot path — inline.
+  Channel& edge_channel(EdgeId e) {
+    SNAPSTAB_CHECK(e >= 0 && e < edge_count());
+    return channels_[static_cast<std::size_t>(e)];
+  }
+  const Channel& edge_channel(EdgeId e) const {
+    SNAPSTAB_CHECK(e >= 0 && e < edge_count());
+    return channels_[static_cast<std::size_t>(e)];
+  }
 
   // Local-index ↔ global-id mapping (delegated to the topology).
   ProcessId peer_of(ProcessId p, int local_index) const {
@@ -63,7 +70,10 @@ class Network final : private ChannelListener {
   }
 
   // Exact occupancy, maintained through the channel transition hooks.
-  bool edge_nonempty(EdgeId e) const;
+  bool edge_nonempty(EdgeId e) const {
+    SNAPSTAB_CHECK(e >= 0 && e < edge_count());
+    return nonempty_[static_cast<std::size_t>(e)] != 0;
+  }
   int nonempty_edge_count() const noexcept { return nonempty_count_; }
 
   // All (src, dst) pairs with a non-empty channel, in ascending (src, dst)

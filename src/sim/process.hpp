@@ -16,6 +16,14 @@
 // sending messages, emitting observations and (for randomized baselines)
 // drawing random bits. Everything else — including the decision of *when* a
 // process is activated — belongs to the scheduler.
+//
+// Context is a concrete final class with a tagged backend: bound to a
+// Simulator it calls straight into the engine (every method inlines — the
+// simulator's step loop pays no virtual dispatch for the millions of
+// send/observe/rng calls of a bulk run); bound to a ContextBackend it
+// forwards through one virtual hop (the thread runtime, external hosts).
+// The sim-path method bodies live at the bottom of sim/simulator.hpp —
+// translation units that *call* Context methods must include it.
 #ifndef SNAPSTAB_SIM_PROCESS_HPP
 #define SNAPSTAB_SIM_PROCESS_HPP
 
@@ -27,12 +35,32 @@
 
 namespace snapstab::sim {
 
-class Context {
+class Simulator;
+
+// Host interface for contexts not bound to a Simulator. Implemented by the
+// thread runtime's per-node context and by any external execution harness;
+// the semantics of each method are those documented on Context below.
+class ContextBackend {
  public:
-  virtual ~Context() = default;
+  virtual ~ContextBackend() = default;
+  virtual int degree() const = 0;
+  virtual bool send(int channel_index, const Message& m) = 0;
+  virtual void observe(Layer layer, ObsKind kind, int peer,
+                       const Value& value) = 0;
+  virtual Rng& rng() = 0;
+  virtual std::uint64_t now() const = 0;
+};
+
+class Context final {
+ public:
+  // Sim backend: bound to (simulator, acting process) for one atomic step.
+  Context(Simulator& sim, ProcessId self) noexcept
+      : sim_(&sim), self_(self) {}
+  // Generic backend (thread runtime, external hosts).
+  explicit Context(ContextBackend& backend) noexcept : backend_(&backend) {}
 
   // Number of incident channels (n - 1 in the fully-connected topology).
-  virtual int degree() const = 0;
+  int degree() const;
 
   // Send `m` over local channel `channel_index` (0-based). If the channel is
   // full the message is lost, per the bounded-capacity model. Returns
@@ -40,20 +68,24 @@ class Context {
   // fire-and-forget and ignore it; application layers (e.g. the diffusing
   // computations observed by the termination detector) may use it as
   // backpressure. An accepted message can still be lost by the adversary.
-  virtual bool send(int channel_index, const Message& m) = 0;
+  bool send(int channel_index, const Message& m);
 
   // Emit a protocol-level event; `peer` is a local channel index or -1
   // (the forwarding-service events use it for a global process id — see
   // sim/observation.hpp).
-  virtual void observe(Layer layer, ObsKind kind, int peer,
-                       const Value& value) = 0;
+  void observe(Layer layer, ObsKind kind, int peer, const Value& value);
 
   // Random bits for randomized protocols (seeded per process).
-  virtual Rng& rng() = 0;
+  Rng& rng();
 
   // Current global step number (never used by the protocols themselves —
   // only by observers; protocol determinism is required for replay).
-  virtual std::uint64_t now() const = 0;
+  std::uint64_t now() const;
+
+ private:
+  Simulator* sim_ = nullptr;
+  ProcessId self_ = -1;
+  ContextBackend* backend_ = nullptr;
 };
 
 class Process {

@@ -18,35 +18,16 @@ int& LossStreaks::streak(Simulator& sim, int edge) {
 }
 
 RandomScheduler::RandomScheduler(std::uint64_t seed, LossOptions loss)
-    : rng_(seed), loss_(loss) {}
+    : Scheduler(SchedulerKind::Random), rng_(seed), loss_(loss) {}
 
 std::optional<Step> RandomScheduler::next(Simulator& sim) {
-  const int ticks = sim.tick_enabled_count();
-  const int chans = sim.deliverable_count();
-  const std::size_t total =
-      static_cast<std::size_t>(ticks) + static_cast<std::size_t>(chans);
-  if (total == 0) return std::nullopt;
-
-  const auto pick = rng_.below(total);
-  if (pick < static_cast<std::size_t>(ticks))
-    return Step::tick(sim.nth_tick_enabled(static_cast<int>(pick)));
-
-  const EdgeId e =
-      sim.nth_deliverable(static_cast<int>(pick) - ticks);
-  const ProcessId src = sim.topology().edge_src(e);
-  const ProcessId dst = sim.topology().edge_dst(e);
-  int& streak = streaks_.streak(sim, e);
-  if (loss_.rate > 0.0 && streak < loss_.max_consecutive &&
-      rng_.chance(loss_.rate)) {
-    ++streak;
-    return Step::lose(src, dst);
-  }
-  streak = 0;
-  return Step::deliver(src, dst);
+  Step step;
+  if (!next_step(sim, step)) return std::nullopt;
+  return step;
 }
 
 RoundRobinScheduler::RoundRobinScheduler(std::uint64_t seed, LossOptions loss)
-    : rng_(seed), loss_(loss) {}
+    : Scheduler(SchedulerKind::RoundRobin), rng_(seed), loss_(loss) {}
 
 void RoundRobinScheduler::refill(Simulator& sim) {
   // One synchronous round: every tick-enabled process activates in id order,
@@ -62,41 +43,25 @@ void RoundRobinScheduler::refill(Simulator& sim) {
     if (loss_.rate > 0.0 && streak < loss_.max_consecutive &&
         rng_.chance(loss_.rate)) {
       ++streak;
-      pending_.push_back(Step::lose(src, dst));
+      pending_.push_back(Step::lose_on(e, src, dst));
     } else {
       streak = 0;
-      pending_.push_back(Step::deliver(src, dst));
+      pending_.push_back(Step::deliver_on(e, src, dst));
     }
   }
   if (!pending_.empty()) ++rounds_;
 }
 
 std::optional<Step> RoundRobinScheduler::next(Simulator& sim) {
-  while (true) {
-    if (pending_.empty()) refill(sim);
-    if (pending_.empty()) return std::nullopt;
-    Step step = pending_.front();
-    pending_.pop_front();
-    // Steps scheduled at round formation may have become stale (channel
-    // drained by the receiving action of an earlier delivery, process gone
-    // busy). Skip stale steps rather than executing no-ops.
-    switch (step.kind) {
-      case StepKind::Tick:
-        if (!sim.process(step.target).tick_enabled()) continue;
-        return step;
-      case StepKind::Deliver:
-      case StepKind::Lose:
-        if (sim.network().channel(step.src, step.target).empty()) continue;
-        if (step.kind == StepKind::Deliver && sim.process(step.target).busy())
-          continue;
-        return step;
-    }
-  }
+  Step step;
+  if (!next_step(sim, step)) return std::nullopt;
+  return step;
 }
 
-std::optional<Step> ScriptedScheduler::next(Simulator&) {
-  if (pos_ >= script_.size()) return std::nullopt;
-  return script_[pos_++];
+std::optional<Step> ScriptedScheduler::next(Simulator& sim) {
+  Step step;
+  if (!next_step(sim, step)) return std::nullopt;
+  return step;
 }
 
 }  // namespace snapstab::sim

@@ -21,16 +21,23 @@
 // deliverable edges in ascending (src, dst) order) and the per-step RNG
 // consumption are exactly those of the scanning implementation, so
 // executions are bit-identical for the same (code, seed, configuration).
+//
+// Sealed dispatch: the three built-in schedulers are `final` and carry a
+// SchedulerKind tag. Simulator::run switches on the tag and drives their
+// non-virtual `next_step` fast paths (plain Step + bool, no optional, fully
+// inlined — bodies at the bottom of sim/simulator.hpp); external Scheduler
+// subclasses report SchedulerKind::Generic and run through the virtual
+// `next`, which is required to produce the identical step sequence.
 #ifndef SNAPSTAB_SIM_SCHEDULER_HPP
 #define SNAPSTAB_SIM_SCHEDULER_HPP
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "sim/observation.hpp"
+#include "sim/topology.hpp"
 
 namespace snapstab::sim {
 
@@ -46,16 +53,37 @@ struct Step {
   StepKind kind = StepKind::Tick;
   ProcessId target = 0;  // process being activated / receiving
   ProcessId src = -1;    // sending endpoint for Deliver / Lose
+  // Dense EdgeId of src -> target when the producer already knows it (the
+  // sealed schedulers pick steps *by* edge, so Simulator::execute skips the
+  // edge_between re-lookup); -1 means "derive from (src, target)". A cache,
+  // not identity — equality ignores it.
+  EdgeId edge = -1;
 
-  static Step tick(ProcessId p) { return {StepKind::Tick, p, -1}; }
+  static Step tick(ProcessId p) { return {StepKind::Tick, p, -1, -1}; }
   static Step deliver(ProcessId src, ProcessId dst) {
-    return {StepKind::Deliver, dst, src};
+    return {StepKind::Deliver, dst, src, -1};
   }
   static Step lose(ProcessId src, ProcessId dst) {
-    return {StepKind::Lose, dst, src};
+    return {StepKind::Lose, dst, src, -1};
+  }
+  static Step deliver_on(EdgeId e, ProcessId src, ProcessId dst) {
+    return {StepKind::Deliver, dst, src, e};
+  }
+  static Step lose_on(EdgeId e, ProcessId src, ProcessId dst) {
+    return {StepKind::Lose, dst, src, e};
   }
 
-  bool operator==(const Step&) const = default;
+  friend bool operator==(const Step& a, const Step& b) {
+    return a.kind == b.kind && a.target == b.target && a.src == b.src;
+  }
+};
+
+// Type tag for the sealed fast paths; external subclasses are Generic.
+enum class SchedulerKind : std::uint8_t {
+  Generic,
+  Random,
+  RoundRobin,
+  Scripted,
 };
 
 class Scheduler {
@@ -64,6 +92,15 @@ class Scheduler {
   // Chooses the next step; nullopt when no step is enabled (quiescence) or,
   // for scripted schedules, when the script is exhausted.
   virtual std::optional<Step> next(Simulator& sim) = 0;
+
+  SchedulerKind kind() const noexcept { return kind_; }
+
+ protected:
+  Scheduler() noexcept = default;  // external subclasses: Generic
+  explicit Scheduler(SchedulerKind kind) noexcept : kind_(kind) {}
+
+ private:
+  SchedulerKind kind_ = SchedulerKind::Generic;
 };
 
 struct LossOptions {
@@ -91,6 +128,11 @@ class RandomScheduler final : public Scheduler {
   explicit RandomScheduler(std::uint64_t seed, LossOptions loss = {});
   std::optional<Step> next(Simulator& sim) override;
 
+  // Sealed fast path: writes the chosen step to `out`, false on quiescence.
+  // Same step sequence and RNG consumption as next(); body inline in
+  // sim/simulator.hpp.
+  bool next_step(Simulator& sim, Step& out);
+
  private:
   Rng rng_;
   LossOptions loss_;
@@ -102,6 +144,9 @@ class RoundRobinScheduler final : public Scheduler {
   explicit RoundRobinScheduler(std::uint64_t seed, LossOptions loss = {});
   std::optional<Step> next(Simulator& sim) override;
 
+  // Sealed fast path; see RandomScheduler::next_step.
+  bool next_step(Simulator& sim, Step& out);
+
   std::uint64_t rounds() const noexcept { return rounds_; }
 
  private:
@@ -109,7 +154,10 @@ class RoundRobinScheduler final : public Scheduler {
 
   Rng rng_;
   LossOptions loss_;
-  std::deque<Step> pending_;
+  // The current round, emitted through a head cursor; clear() keeps the
+  // capacity, so refills after the first round never allocate.
+  std::vector<Step> pending_;
+  std::size_t head_ = 0;
   LossStreaks streaks_;
   std::uint64_t rounds_ = 0;
 };
@@ -117,8 +165,15 @@ class RoundRobinScheduler final : public Scheduler {
 class ScriptedScheduler final : public Scheduler {
  public:
   explicit ScriptedScheduler(std::vector<Step> script)
-      : script_(std::move(script)) {}
+      : Scheduler(SchedulerKind::Scripted), script_(std::move(script)) {}
   std::optional<Step> next(Simulator& sim) override;
+
+  // Sealed fast path; needs no simulator state.
+  bool next_step(Simulator&, Step& out) noexcept {
+    if (pos_ >= script_.size()) return false;
+    out = script_[pos_++];
+    return true;
+  }
 
   std::size_t position() const noexcept { return pos_; }
 

@@ -7,46 +7,26 @@
 
 namespace snapstab::sim {
 
-// Binds a Context to (simulator, acting process). Constructed on the stack
-// for the duration of one atomic action.
-class SimContext final : public Context {
- public:
-  SimContext(Simulator& sim, ProcessId self) : sim_(sim), self_(self) {}
-
-  int degree() const override {
-    return sim_.network_.topology().degree(self_);
-  }
-
-  bool send(int channel_index, const Message& m) override {
-    const EdgeId e = sim_.network_.topology().out_edge(self_, channel_index);
-    ++sim_.metrics_.sends;
-    if (!sim_.network_.edge_channel(e).push(m)) {
-      ++sim_.metrics_.sends_lost_full;
-      return false;
-    }
-    return true;
-  }
-
-  void observe(Layer layer, ObsKind kind, int peer,
-               const Value& value) override {
-    sim_.log_.emit(Observation{sim_.metrics_.steps, self_, layer, kind, peer,
-                               value});
-  }
-
-  Rng& rng() override { return sim_.process_rngs_[static_cast<std::size_t>(self_)]; }
-
-  std::uint64_t now() const override { return sim_.metrics_.steps; }
-
- private:
-  Simulator& sim_;
-  ProcessId self_;
-};
-
 namespace {
+
 std::uint64_t next_instance_id() {
   static std::atomic<std::uint64_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
+
+// Adapts an external (SchedulerKind::Generic) scheduler to the sealed step
+// loop: one virtual next() per step plus the optional unwrap — exactly the
+// historic cost, kept as the compatibility fallback.
+struct VirtualSchedulerAdapter {
+  Scheduler& inner;
+  bool next_step(Simulator& sim, Step& out) {
+    auto step = inner.next(sim);
+    if (!step.has_value()) return false;
+    out = *step;
+    return true;
+  }
+};
+
 }  // namespace
 
 Simulator::Simulator(Topology topology, std::size_t channel_capacity,
@@ -137,25 +117,50 @@ void Simulator::reconcile_enabled_index() {
   for (ProcessId p = 0; p < network_.process_count(); ++p) refresh_process(p);
 }
 
+EdgeId Simulator::step_edge(const Step& step) const {
+  const Topology& topo = network_.topology();
+  if (step.edge >= 0) {
+    // The producer's claim must match the endpoints — a mismatched edge
+    // would silently address another channel.
+    SNAPSTAB_CHECK_MSG(topo.edge_src(step.edge) == step.src &&
+                           topo.edge_dst(step.edge) == step.target,
+                       "Step.edge does not connect (src, target)");
+    return step.edge;
+  }
+  return topo.edge_between(step.src, step.target);
+}
+
 bool Simulator::execute(const Step& step) {
   SNAPSTAB_CHECK_MSG(
       processes_.size() == static_cast<std::size_t>(network_.process_count()),
       "install all processes before stepping");
+  return execute_step(step);
+}
+
+bool Simulator::execute_step(const Step& step) {
   ++metrics_.steps;
+  // One branch hoists recording out of the per-kind paths, which stay
+  // straight-line in the common (non-recording) executions.
+  if (recording_) return execute_impl<true>(step);
+  return execute_impl<false>(step);
+}
+
+template <bool Recording>
+bool Simulator::execute_impl(const Step& step) {
   switch (step.kind) {
     case StepKind::Tick: {
       Process& p = process(step.target);
       ++metrics_.ticks;
-      SimContext ctx(*this, step.target);
+      Context ctx(*this, step.target);
       p.on_tick(ctx);
       refresh_process(step.target);
-      if (recording_)
+      if constexpr (Recording)
         recorded_activations_[static_cast<std::size_t>(step.target)].push_back(
             Activation{StepKind::Tick, -1, Message{}});
       return true;
     }
     case StepKind::Deliver: {
-      const EdgeId e = network_.topology().edge_between(step.src, step.target);
+      const EdgeId e = step_edge(step);
       Channel& ch = network_.edge_channel(e);
       if (ch.empty()) return false;
       const Message msg = ch.pop();  // flat copy, no optional wrapper
@@ -164,18 +169,18 @@ bool Simulator::execute(const Step& step) {
                          "scheduler delivered to a process busy in its CS");
       ++metrics_.deliveries;
       const int index = network_.topology().edge_index_at_dst(e);
-      if (recording_) {
+      if constexpr (Recording) {
         recorded_activations_[static_cast<std::size_t>(step.target)].push_back(
             Activation{StepKind::Deliver, index, msg});
         recorded_deliveries_[static_cast<std::size_t>(e)].push_back(msg);
       }
-      SimContext ctx(*this, step.target);
+      Context ctx(*this, step.target);
       p.on_message(ctx, index, msg);
       refresh_process(step.target);
       return true;
     }
     case StepKind::Lose: {
-      Channel& ch = network_.channel(step.src, step.target);
+      Channel& ch = network_.edge_channel(step_edge(step));
       if (!ch.drop_head()) return false;  // empty: the drop misses, no count
       ++metrics_.adversary_losses;
       return true;
@@ -184,9 +189,51 @@ bool Simulator::execute(const Step& step) {
   return false;
 }
 
+template <typename Sched>
+Simulator::StopReason Simulator::run_loop(
+    Sched& sched, std::uint64_t max_steps,
+    const std::function<bool(Simulator&)>& stop, StopPolicy policy) {
+  if (!stop) {
+    for (std::uint64_t i = 0; i < max_steps; ++i) {
+      Step step;
+      if (!sched.next_step(*this, step)) return StopReason::Quiescent;
+      execute_step(step);
+    }
+    return StopReason::BudgetExhausted;
+  }
+
+  const std::uint64_t every = policy.check_every == 0 ? 1 : policy.check_every;
+  std::uint64_t until_check = every;
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    Step step;
+    if (!sched.next_step(*this, step)) return StopReason::Quiescent;
+    execute_step(step);
+    if (--until_check == 0) {
+      until_check = every;
+      if (stop(*this)) return StopReason::Predicate;
+      // Stop predicates may mutate process state (e.g. submit the next
+      // request once the previous one decided), and they hold plain
+      // references to the processes — no dirty flag can observe that. The
+      // O(n) re-read per check is the price of an exact index under
+      // predicate-driven runs; predicate-free runs stay on the O(log n)
+      // path, and StopPolicy::check_every amortizes it for bulk runs.
+      reconcile_enabled_index();
+    }
+  }
+  return StopReason::BudgetExhausted;
+}
+
 Simulator::StopReason Simulator::run(
-    std::uint64_t max_steps, const std::function<bool(Simulator&)>& stop) {
+    std::uint64_t max_steps, const std::function<bool(Simulator&)>& stop,
+    StopPolicy policy) {
   SNAPSTAB_CHECK_MSG(scheduler_ != nullptr, "no scheduler installed");
+  // The sealed loop skips execute()'s per-step install check, so misuse
+  // must trap here: a partially-installed world would otherwise run as a
+  // plausible-looking smaller system (missing processes are neither
+  // tickable nor busy to the enabled index).
+  SNAPSTAB_CHECK_MSG(
+      processes_.size() == static_cast<std::size_t>(network_.process_count()),
+      "install all processes before stepping");
   // Text payloads created by protocol code during this run intern into the
   // simulator's pool, wherever the driving thread came from.
   ScopedStringPool pool_scope(*pool_);
@@ -197,22 +244,23 @@ Simulator::StopReason Simulator::run(
     if (stop(*this)) return StopReason::Predicate;
     reconcile_enabled_index();
   }
-  for (std::uint64_t i = 0; i < max_steps; ++i) {
-    auto step = scheduler_->next(*this);
-    if (!step.has_value()) return StopReason::Quiescent;
-    execute(*step);
-    if (stop) {
-      if (stop(*this)) return StopReason::Predicate;
-      // Stop predicates may mutate process state (e.g. submit the next
-      // request once the previous one decided), and they hold plain
-      // references to the processes — no dirty flag can observe that. The
-      // O(n) re-read per step is the price of an exact index under
-      // predicate-driven runs; predicate-free runs stay on the O(log n)
-      // path.
-      reconcile_enabled_index();
-    }
+  // Seal the loop on the installed scheduler's concrete type: non-virtual
+  // next_step, no optional, steps delivered with their EdgeId attached.
+  switch (scheduler_->kind()) {
+    case SchedulerKind::Random:
+      return run_loop(static_cast<RandomScheduler&>(*scheduler_), max_steps,
+                      stop, policy);
+    case SchedulerKind::RoundRobin:
+      return run_loop(static_cast<RoundRobinScheduler&>(*scheduler_),
+                      max_steps, stop, policy);
+    case SchedulerKind::Scripted:
+      return run_loop(static_cast<ScriptedScheduler&>(*scheduler_), max_steps,
+                      stop, policy);
+    case SchedulerKind::Generic:
+      break;
   }
-  return StopReason::BudgetExhausted;
+  VirtualSchedulerAdapter generic{*scheduler_};
+  return run_loop(generic, max_steps, stop, policy);
 }
 
 void Simulator::enable_recording() {

@@ -7,20 +7,28 @@
 //
 // Enabled-step index: the simulator maintains, incrementally, the exact sets
 // a scheduler chooses from — the tick-enabled processes and the deliverable
-// edges (non-empty channel, receiver not busy in its CS) — as Fenwick-backed
-// order-statistics sets. Channel occupancy is fed by the network's
-// transition hooks (exact under arbitrary channel mutation); process
-// predicates (tick_enabled, busy) are re-read after each executed step for
-// the acting process, and reconciled in bulk at run() start and after each
-// stop-predicate call (stop predicates are allowed to mutate process state,
-// e.g. submit new requests). Schedulers therefore pick a uniformly random
-// enabled step in O(log n) instead of rescanning all n² channels.
+// edges (non-empty channel, receiver not busy in its CS) — as bitmap-backed
+// order-statistics sets (common/rankset.hpp: O(1) membership flips,
+// branchless popcount-scan selection). Channel occupancy is fed by the
+// network's transition hooks (exact under arbitrary channel mutation);
+// process predicates (tick_enabled, busy) are re-read after each executed
+// step for the acting process, and reconciled in bulk at run() start and
+// after each stop-predicate call (stop predicates are allowed to mutate
+// process state, e.g. submit new requests). Schedulers therefore pick a
+// uniformly random enabled step without rescanning all n² channels.
 //
 // The simulator can also *record* executions: per-process activation
 // sequences (ticks and received messages in order). Recording is what makes
 // the Theorem-1 impossibility construction executable — record the bad
 // factor, stuff the recorded message sequences into the channels of a fresh
 // initial configuration, replay each process's activations verbatim.
+//
+// Sealed step loop: run() switches once on the installed scheduler's
+// SchedulerKind and drives the non-virtual next_step fast path of the three
+// built-in schedulers; the per-step Context is concrete and fully inlined.
+// External Scheduler subclasses (SchedulerKind::Generic) take the virtual
+// next() fallback, which must produce the identical step sequence — the
+// sealing changes the cost of a step, never its outcome.
 #ifndef SNAPSTAB_SIM_SIMULATOR_HPP
 #define SNAPSTAB_SIM_SIMULATOR_HPP
 
@@ -29,7 +37,7 @@
 #include <memory>
 #include <vector>
 
-#include "common/fenwick.hpp"
+#include "common/rankset.hpp"
 #include "msg/strpool.hpp"
 #include "sim/network.hpp"
 #include "sim/process.hpp"
@@ -51,6 +59,17 @@ struct Activation {
   StepKind kind = StepKind::Tick;  // Tick or Deliver
   int channel_index = -1;          // local index of the sender for Deliver
   Message message;                 // the delivered message for Deliver
+};
+
+// Cadence of the stop-predicate check in run(). The default (1) preserves
+// the historic behavior: the predicate runs after every executed step, and
+// because predicates may mutate process state, each check is followed by an
+// O(n) reconcile of the enabled-step index. Bulk runs (benchmarks, fixed
+// trial budgets) can raise check_every to amortize both costs; the run may
+// then overshoot the predicate's first holding point by up to
+// check_every - 1 steps. 0 is treated as 1.
+struct StopPolicy {
+  std::uint64_t check_every = 1;
 };
 
 class Simulator final : private NetworkListener {
@@ -101,10 +120,12 @@ class Simulator final : private NetworkListener {
 
   enum class StopReason { Predicate, Quiescent, BudgetExhausted };
 
-  // Runs until `stop` holds (checked after every step), the scheduler finds
-  // no enabled step, or `max_steps` further steps have been executed.
+  // Runs until `stop` holds (checked per `policy`, default after every
+  // step), the scheduler finds no enabled step, or `max_steps` further
+  // steps have been executed.
   StopReason run(std::uint64_t max_steps,
-                 const std::function<bool(Simulator&)>& stop = {});
+                 const std::function<bool(Simulator&)>& stop = {},
+                 StopPolicy policy = {});
 
   // --- enabled-step index (scheduler interface) ---
   // Members are reported in ascending id / canonical edge order, which is
@@ -126,12 +147,27 @@ class Simulator final : private NetworkListener {
   const std::vector<Message>& delivered(ProcessId src, ProcessId dst) const;
 
  private:
-  friend class SimContext;
+  friend class Context;  // the sim backend inlines straight into the engine
 
   void edge_occupancy_changed(EdgeId e, bool nonempty) override;
   // Re-reads tick_enabled()/busy() for one process and fixes the index.
   void refresh_process(ProcessId p);
   void refresh_deliverable(EdgeId e);
+
+  // execute() minus the install check (hoisted out of the sealed loop);
+  // branches once on recording_ into a straight-line variant.
+  bool execute_step(const Step& step);
+  template <bool Recording>
+  bool execute_impl(const Step& step);
+  // EdgeId of a Deliver/Lose step: the scheduler-provided edge when
+  // present (checked against the endpoints), else derived via edge_between.
+  EdgeId step_edge(const Step& step) const;
+  // The sealed step loop; Sched exposes a non-virtual
+  // `bool next_step(Simulator&, Step&)`.
+  template <typename Sched>
+  StopReason run_loop(Sched& sched, std::uint64_t max_steps,
+                      const std::function<bool(Simulator&)>& stop,
+                      StopPolicy policy);
 
   std::uint64_t instance_id_;
   StringPool* pool_;
@@ -143,8 +179,8 @@ class Simulator final : private NetworkListener {
   std::unique_ptr<Scheduler> scheduler_;
 
   // Enabled-step index.
-  FenwickSet tick_set_;         // processes with tick_enabled()
-  FenwickSet deliverable_set_;  // edges: non-empty ∧ receiver not busy
+  RankSet tick_set_;         // processes with tick_enabled()
+  RankSet deliverable_set_;  // edges: non-empty ∧ receiver not busy
   std::vector<char> tick_bit_;
   std::vector<char> deliverable_bit_;
   std::vector<char> busy_bit_;
@@ -153,6 +189,110 @@ class Simulator final : private NetworkListener {
   std::vector<std::vector<Activation>> recorded_activations_;
   std::vector<std::vector<Message>> recorded_deliveries_;  // per EdgeId
 };
+
+// ---------------------------------------------------------------------------
+// Inline fast paths. Context's sim backend and the sealed schedulers'
+// next_step need the Simulator definition, so their bodies live here; any
+// translation unit calling them must include this header.
+// ---------------------------------------------------------------------------
+
+inline int Context::degree() const {
+  if (sim_ != nullptr) return sim_->network_.topology().degree(self_);
+  return backend_->degree();
+}
+
+inline bool Context::send(int channel_index, const Message& m) {
+  if (sim_ != nullptr) {
+    Simulator& sim = *sim_;
+    const EdgeId e = sim.network_.topology().out_edge(self_, channel_index);
+    ++sim.metrics_.sends;
+    if (!sim.network_.edge_channel(e).push(m)) {
+      ++sim.metrics_.sends_lost_full;
+      return false;
+    }
+    return true;
+  }
+  return backend_->send(channel_index, m);
+}
+
+inline void Context::observe(Layer layer, ObsKind kind, int peer,
+                             const Value& value) {
+  if (sim_ != nullptr) {
+    sim_->log_.emit(
+        Observation{sim_->metrics_.steps, self_, layer, kind, peer, value});
+    return;
+  }
+  backend_->observe(layer, kind, peer, value);
+}
+
+inline Rng& Context::rng() {
+  if (sim_ != nullptr)
+    return sim_->process_rngs_[static_cast<std::size_t>(self_)];
+  return backend_->rng();
+}
+
+inline std::uint64_t Context::now() const {
+  if (sim_ != nullptr) return sim_->metrics_.steps;
+  return backend_->now();
+}
+
+inline bool RandomScheduler::next_step(Simulator& sim, Step& out) {
+  const int ticks = sim.tick_enabled_count();
+  const int chans = sim.deliverable_count();
+  const std::size_t total =
+      static_cast<std::size_t>(ticks) + static_cast<std::size_t>(chans);
+  if (total == 0) return false;
+
+  const auto pick = rng_.below(total);
+  if (pick < static_cast<std::size_t>(ticks)) {
+    out = Step::tick(sim.nth_tick_enabled(static_cast<int>(pick)));
+    return true;
+  }
+
+  const EdgeId e = sim.nth_deliverable(static_cast<int>(pick) - ticks);
+  const ProcessId src = sim.topology().edge_src(e);
+  const ProcessId dst = sim.topology().edge_dst(e);
+  if (loss_.rate > 0.0) {
+    int& streak = streaks_.streak(sim, e);
+    if (streak < loss_.max_consecutive && rng_.chance(loss_.rate)) {
+      ++streak;
+      out = Step::lose_on(e, src, dst);
+      return true;
+    }
+    streak = 0;
+  }
+  out = Step::deliver_on(e, src, dst);
+  return true;
+}
+
+inline bool RoundRobinScheduler::next_step(Simulator& sim, Step& out) {
+  while (true) {
+    if (head_ == pending_.size()) {
+      pending_.clear();
+      head_ = 0;
+      refill(sim);
+      if (pending_.empty()) return false;
+    }
+    const Step step = pending_[head_++];
+    // Steps scheduled at round formation may have become stale (channel
+    // drained by the receiving action of an earlier delivery, process gone
+    // busy). Skip stale steps rather than executing no-ops.
+    switch (step.kind) {
+      case StepKind::Tick:
+        if (!sim.process(step.target).tick_enabled()) continue;
+        break;
+      case StepKind::Deliver:
+        if (!sim.network().edge_nonempty(step.edge)) continue;
+        if (sim.process(step.target).busy()) continue;
+        break;
+      case StepKind::Lose:
+        if (!sim.network().edge_nonempty(step.edge)) continue;
+        break;
+    }
+    out = step;
+    return true;
+  }
+}
 
 }  // namespace snapstab::sim
 

@@ -205,23 +205,6 @@ Topology Topology::from_edges(int n,
                directed == n * (n - 1));
 }
 
-void Topology::check_process(ProcessId p) const {
-  SNAPSTAB_CHECK(p >= 0 && p < n_);
-}
-
-int Topology::degree(ProcessId p) const {
-  check_process(p);
-  return row_[static_cast<std::size_t>(p) + 1] -
-         row_[static_cast<std::size_t>(p)];
-}
-
-ProcessId Topology::peer_of(ProcessId p, int local_index) const {
-  check_process(p);
-  SNAPSTAB_CHECK(local_index >= 0 && local_index < degree(p));
-  return nbr_[static_cast<std::size_t>(row_[static_cast<std::size_t>(p)] +
-                                       local_index)];
-}
-
 EdgeId Topology::edge_between(ProcessId src, ProcessId dst) const {
   check_process(src);
   check_process(dst);
@@ -248,40 +231,6 @@ bool Topology::adjacent(ProcessId a, ProcessId b) const {
 
 int Topology::index_of(ProcessId p, ProcessId peer) const {
   return edge_index_at_src_[static_cast<std::size_t>(edge_between(p, peer))];
-}
-
-ProcessId Topology::edge_src(EdgeId e) const {
-  SNAPSTAB_CHECK(e >= 0 && e < edge_count());
-  return edge_src_[static_cast<std::size_t>(e)];
-}
-
-ProcessId Topology::edge_dst(EdgeId e) const {
-  SNAPSTAB_CHECK(e >= 0 && e < edge_count());
-  return edge_dst_[static_cast<std::size_t>(e)];
-}
-
-int Topology::edge_index_at_src(EdgeId e) const {
-  SNAPSTAB_CHECK(e >= 0 && e < edge_count());
-  return edge_index_at_src_[static_cast<std::size_t>(e)];
-}
-
-int Topology::edge_index_at_dst(EdgeId e) const {
-  SNAPSTAB_CHECK(e >= 0 && e < edge_count());
-  return edge_index_at_dst_[static_cast<std::size_t>(e)];
-}
-
-EdgeId Topology::out_edge(ProcessId p, int local_index) const {
-  check_process(p);
-  SNAPSTAB_CHECK(local_index >= 0 && local_index < degree(p));
-  return out_edge_[static_cast<std::size_t>(row_[static_cast<std::size_t>(p)] +
-                                            local_index)];
-}
-
-EdgeId Topology::in_edge(ProcessId p, int local_index) const {
-  check_process(p);
-  SNAPSTAB_CHECK(local_index >= 0 && local_index < degree(p));
-  return in_edge_[static_cast<std::size_t>(row_[static_cast<std::size_t>(p)] +
-                                           local_index)];
 }
 
 RoutingTable::RoutingTable(const Topology& topology)

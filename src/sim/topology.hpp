@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.hpp"
 #include "sim/observation.hpp"
 
 namespace snapstab::sim {
@@ -103,6 +104,61 @@ class Topology {
   std::vector<int> edge_index_at_src_;
   std::vector<int> edge_index_at_dst_;
 };
+
+// The per-step accessors are inline: the sealed step loop touches them one
+// or more times per step (edge endpoints on every draw, out_edge on every
+// send), and each is a bounds check plus one or two array loads.
+
+inline void Topology::check_process(ProcessId p) const {
+  SNAPSTAB_CHECK(p >= 0 && p < n_);
+}
+
+inline int Topology::degree(ProcessId p) const {
+  check_process(p);
+  return row_[static_cast<std::size_t>(p) + 1] -
+         row_[static_cast<std::size_t>(p)];
+}
+
+inline ProcessId Topology::peer_of(ProcessId p, int local_index) const {
+  check_process(p);
+  SNAPSTAB_CHECK(local_index >= 0 && local_index < degree(p));
+  return nbr_[static_cast<std::size_t>(row_[static_cast<std::size_t>(p)] +
+                                       local_index)];
+}
+
+inline ProcessId Topology::edge_src(EdgeId e) const {
+  SNAPSTAB_CHECK(e >= 0 && e < edge_count());
+  return edge_src_[static_cast<std::size_t>(e)];
+}
+
+inline ProcessId Topology::edge_dst(EdgeId e) const {
+  SNAPSTAB_CHECK(e >= 0 && e < edge_count());
+  return edge_dst_[static_cast<std::size_t>(e)];
+}
+
+inline int Topology::edge_index_at_src(EdgeId e) const {
+  SNAPSTAB_CHECK(e >= 0 && e < edge_count());
+  return edge_index_at_src_[static_cast<std::size_t>(e)];
+}
+
+inline int Topology::edge_index_at_dst(EdgeId e) const {
+  SNAPSTAB_CHECK(e >= 0 && e < edge_count());
+  return edge_index_at_dst_[static_cast<std::size_t>(e)];
+}
+
+inline EdgeId Topology::out_edge(ProcessId p, int local_index) const {
+  check_process(p);
+  SNAPSTAB_CHECK(local_index >= 0 && local_index < degree(p));
+  return out_edge_[static_cast<std::size_t>(row_[static_cast<std::size_t>(p)] +
+                                            local_index)];
+}
+
+inline EdgeId Topology::in_edge(ProcessId p, int local_index) const {
+  check_process(p);
+  SNAPSTAB_CHECK(local_index >= 0 && local_index < degree(p));
+  return in_edge_[static_cast<std::size_t>(row_[static_cast<std::size_t>(p)] +
+                                           local_index)];
+}
 
 // All-pairs shortest-path routing over a Topology: for every (at, dst) pair
 // the local channel index of the first hop of a shortest path. Ties are

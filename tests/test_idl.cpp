@@ -192,14 +192,15 @@ TEST(Idl, FeedbackWithGarbagePayloadTolerated) {
   // fold it in without crashing (total handlers).
   Pif pif(1, 1);
   Idl idl(7, 1, pif);
-  struct NullCtx final : sim::Context {
+  struct NullBackend final : sim::ContextBackend {
     Rng rng_{1};
     int degree() const override { return 1; }
     bool send(int, const Message&) override { return true; }
     void observe(sim::Layer, sim::ObsKind, int, const Value&) override {}
     Rng& rng() override { return rng_; }
     std::uint64_t now() const override { return 0; }
-  } ctx;
+  } backend;
+  sim::Context ctx(backend);
   idl.on_fck(ctx, 0, Value::text("garbage"));
   EXPECT_EQ(idl.id_tab(0), 0);  // fallback id
   idl.on_fck(ctx, 0, Value::token(Token::Exit));

@@ -72,15 +72,16 @@ TEST(Pif, StartResetsAllFlags) {
   pif.mutable_state().state = {4, 2, 1};
   pif.request(Value::integer(1));
 
-  // Minimal context: discard sends, record nothing.
-  struct NullCtx final : sim::Context {
+  // Minimal context backend: discard sends, record nothing.
+  struct NullBackend final : sim::ContextBackend {
     Rng rng_{1};
     int degree() const override { return 3; }
     bool send(int, const Message&) override { return true; }
     void observe(sim::Layer, sim::ObsKind, int, const Value&) override {}
     Rng& rng() override { return rng_; }
     std::uint64_t now() const override { return 0; }
-  } ctx;
+  } backend;
+  sim::Context ctx(backend);
 
   pif.tick(ctx);
   EXPECT_EQ(pif.request_state(), RequestState::In);
