@@ -13,7 +13,7 @@
 #include "exp_common.hpp"
 #include "trial_runner.hpp"
 
-#include "core/forward.hpp"
+#include "core/forward_world.hpp"
 
 namespace snapstab::bench {
 namespace {

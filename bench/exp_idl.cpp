@@ -1,9 +1,11 @@
 // exp_idl — Experiment E4: Theorem 3 (IDs-Learning), empirically.
 //
-// Every process requests an IDL computation from fuzzed configurations;
-// after each started-and-terminated computation the table and minimum must
-// be exact. Also reports the cost of learning (rounds, messages).
+// Every process requests an IDL computation (one svc session each) from
+// fuzzed configurations; after each started-and-terminated computation the
+// table and minimum must be exact. Also reports the cost of learning
+// (rounds, messages).
 #include "exp_common.hpp"
+#include "svc/client.hpp"
 
 namespace snapstab::bench {
 namespace {
@@ -36,14 +38,13 @@ Cell run_cell(int n, bool corrupted, int trials, std::uint64_t seed0) {
       sim::fuzz(world, rng);
     }
     world.set_scheduler(std::make_unique<sim::RoundRobinScheduler>(seed));
-    for (int p = 0; p < n; ++p) core::request_idl(world, p);
-    const auto reason = world.run(5'000'000, [n](Simulator& s) {
-      for (int p = 0; p < n; ++p)
-        if (!s.process_as<IdlProcess>(p).idl().done()) return false;
-      return true;
-    });
+    svc::Client client(world);
+    std::vector<svc::Session> sessions;
+    for (int p = 0; p < n; ++p)
+      sessions.push_back(client.submit(p, svc::Idl{}));
+    const bool done = client.run_until(sessions, {.max_steps = 5'000'000});
     ++cell.runs;
-    if (reason != Simulator::StopReason::Predicate) {
+    if (!done) {
       ++cell.violations;
       continue;
     }

@@ -7,7 +7,12 @@
 //
 // Part 2 (E11): service metrics — CS grants per million steps, request-to-CS
 // latency, per-process fairness, messages per grant.
+//
+// Requests go through the svc session API: submit-while-busy queues at the
+// host, so the historic caller-managed retry loops collapse into
+// submit -> run_until -> resubmit.
 #include "exp_common.hpp"
+#include "svc/client.hpp"
 
 namespace snapstab::bench {
 namespace {
@@ -32,29 +37,18 @@ ValidationCell validate(int n, double loss, int trials,
     world->set_scheduler(std::make_unique<sim::RandomScheduler>(
         seed, sim::LossOptions{.rate = loss, .max_consecutive = 5}));
 
-    std::vector<bool> requested(static_cast<std::size_t>(n), false);
+    // One CS session per process: a fuzzed ghost computation in the ME
+    // layer queues the session instead of refusing it (the historic
+    // retry-in-the-stop-predicate dance).
+    svc::Client client(*world);
+    std::vector<svc::Session> sessions;
     for (int p = 0; p < n; ++p)
-      requested[static_cast<std::size_t>(p)] = core::request_cs(*world, p);
-    const auto reason = world->run(8'000'000, [&](Simulator& s) {
-      bool all = true;
-      for (int p = 0; p < n; ++p) {
-        auto& me = s.process_as<MeStackProcess>(p).me();
-        auto ri = static_cast<std::size_t>(p);
-        if (!requested[ri]) {
-          if (me.request_state() == core::RequestState::Done)
-            requested[ri] = core::request_cs(s, p);
-          all = false;
-        } else if (me.request_state() != core::RequestState::Done) {
-          all = false;
-        }
-      }
-      return all;
-    });
+      sessions.push_back(client.submit(p, svc::CriticalSection{}));
+    const bool served = client.run_until(sessions, {.max_steps = 8'000'000});
     ++cell.runs;
-    if (reason != Simulator::StopReason::Predicate) ++cell.unserved;
-    const auto report = core::check_me_spec(
-        *world,
-        {.require_liveness = reason == Simulator::StopReason::Predicate});
+    if (!served) ++cell.unserved;
+    const auto report =
+        core::check_me_spec(*world, {.require_liveness = served});
     if (!report.ok()) ++cell.violations;
   }
   return cell;
@@ -72,9 +66,11 @@ struct ServiceCell {
 ServiceCell service(int n, std::uint64_t seed, std::uint64_t budget) {
   auto world = me_world(n, seed);
   world->set_scheduler(std::make_unique<sim::RandomScheduler>(seed));
+  svc::Client client(*world);
+  std::vector<svc::Session> active;
   std::vector<std::uint64_t> request_step(static_cast<std::size_t>(n), 0);
   for (int p = 0; p < n; ++p) {
-    core::request_cs(*world, p);
+    active.push_back(client.submit(p, svc::CriticalSection{}));
     request_step[static_cast<std::size_t>(p)] = world->step_count();
   }
   ServiceCell cell;
@@ -86,13 +82,13 @@ ServiceCell service(int n, std::uint64_t seed, std::uint64_t budget) {
     world->run(chunk);
     remaining -= chunk;
     for (int p = 0; p < n; ++p) {
-      auto& me = world->process_as<MeStackProcess>(p).me();
       const auto ri = static_cast<std::size_t>(p);
-      if (me.request_state() == core::RequestState::Done) {
+      if (client.done(active[ri])) {
         ++grants[ri];
         cell.latency.add(
             static_cast<double>(world->step_count() - request_step[ri]));
-        core::request_cs(*world, p);  // immediately request again
+        client.release(active[ri]);  // recycle the completed record
+        active[ri] = client.submit(p, svc::CriticalSection{});
         request_step[ri] = world->step_count();
       }
     }
@@ -117,12 +113,9 @@ bool paper_faithful_deadlock(int n) {
   // Plant the poison value n at the leader and request elsewhere.
   world->process_as<MeStackProcess>(0).me().mutable_state().value = n;
   world->set_scheduler(std::make_unique<sim::RandomScheduler>(78));
-  core::request_cs(*world, 1);
-  const auto reason = world->run(600'000, [](Simulator& s) {
-    return s.process_as<MeStackProcess>(1).me().request_state() ==
-           core::RequestState::Done;
-  });
-  return reason == Simulator::StopReason::BudgetExhausted;
+  svc::Client client(*world);
+  const svc::Session session = client.submit(1, svc::CriticalSection{});
+  return !client.run_until(session, {.max_steps = 600'000});
 }
 
 }  // namespace

@@ -1,15 +1,18 @@
-// exp_services — Experiment E13 (extension): the PIF-based services.
+// exp_services — Experiment E13 (extension): the PIF-based services,
+// driven through the unified service/session API (svc::Client).
 //
 // The paper's §4.1 motivates PIF with "Reset, Snapshot, Leader Election,
 // and Termination Detection can be solved using a PIF-based solution".
 // This experiment validates and costs the three services built in core/:
 // global reset, leader election with consistent ranking, and termination
 // detection of a token-game diffusing computation — each from fuzzed
-// initial configurations.
+// initial configurations, each requested as a session (submit ->
+// run_until -> result) instead of the historic per-protocol helpers.
 #include <deque>
 #include <set>
 
 #include "exp_common.hpp"
+#include "svc/client.hpp"
 
 namespace snapstab::bench {
 namespace {
@@ -39,17 +42,15 @@ ResetCell reset_cell(int n, int trials, std::uint64_t seed0) {
     Rng rng(seed * 3);
     sim::fuzz(world, rng);
     world.set_scheduler(std::make_unique<sim::RandomScheduler>(seed));
-    core::request_reset(world, 0);
-    const auto reason = world.run(1'000'000, [](Simulator& s) {
-      return s.process_as<ResetProcess>(0).reset().done();
-    });
+    svc::Client client(world);
+    const auto session = client.submit(0, svc::Reset{});
+    const bool done = client.run_until(session, {.max_steps = 1'000'000});
     ++cell.runs;
-    bool ok = reason == Simulator::StopReason::Predicate;
+    bool ok = done && client.result(session).completed;
     for (int i = 0; i < n && ok; ++i)
       ok = hooks[static_cast<std::size_t>(i)] >= 1;
     if (!ok) ++cell.failures;
-    if (reason == Simulator::StopReason::Predicate)
-      cell.steps.add(static_cast<double>(world.step_count()));
+    if (done) cell.steps.add(static_cast<double>(world.step_count()));
   }
   return cell;
 }
@@ -74,22 +75,21 @@ ElectionCell election_cell(int n, int trials, std::uint64_t seed0) {
     Rng rng(seed * 7);
     sim::fuzz(world, rng);
     world.set_scheduler(std::make_unique<sim::RandomScheduler>(seed));
-    for (int p = 0; p < n; ++p) core::request_election(world, p);
-    const auto reason = world.run(3'000'000, [n](Simulator& s) {
-      for (int p = 0; p < n; ++p)
-        if (!s.process_as<ElectionProcess>(p).election().done()) return false;
-      return true;
-    });
+    svc::Client client(world);
+    std::vector<svc::Session> sessions;
+    for (int p = 0; p < n; ++p)
+      sessions.push_back(client.submit(p, svc::Election{}));
+    const bool done = client.run_until(sessions, {.max_steps = 3'000'000});
     ++cell.runs;
-    bool ok = reason == Simulator::StopReason::Predicate;
+    bool ok = done;
     if (ok) {
       const std::int64_t expected =
           *std::min_element(ids.begin(), ids.end());
       std::set<int> ranks;
       for (int p = 0; p < n; ++p) {
-        auto& e = world.process_as<ElectionProcess>(p).election();
-        if (e.leader() != expected) ok = false;
-        ranks.insert(e.rank());
+        const auto r = client.result(sessions[static_cast<std::size_t>(p)]);
+        if (!r.completed || r.min_id != expected) ok = false;
+        ranks.insert(r.rank);
       }
       if (static_cast<int>(ranks.size()) != n) ok = false;
       cell.steps.add(static_cast<double>(world.step_count()));
@@ -150,12 +150,11 @@ TdCell termdetect_cell(int n, int tokens, int trials, std::uint64_t seed0) {
       apps[rng.below(static_cast<std::uint64_t>(n))]->held.push_back(
           static_cast<int>(rng.below(10)));
     world.set_scheduler(std::make_unique<sim::RandomScheduler>(seed));
-    core::request_termdetect(world, 0);
-    const auto reason = world.run(6'000'000, [](Simulator& s) {
-      return s.process_as<TermDetectProcess>(0).detector().done();
-    });
+    svc::Client client(world);
+    const auto session = client.submit(0, svc::TermDetect{});
+    const bool done = client.run_until(session, {.max_steps = 6'000'000});
     ++cell.runs;
-    if (reason != Simulator::StopReason::Predicate) {
+    if (!done) {
       ++cell.no_claims;
       continue;
     }
@@ -170,8 +169,7 @@ TdCell termdetect_cell(int n, int tokens, int trials, std::uint64_t seed0) {
           if (m.kind == MsgKind::App) live = true;
       }
     if (live) ++cell.false_claims;
-    cell.waves.add(static_cast<double>(
-        world.process_as<TermDetectProcess>(0).detector().waves_used()));
+    cell.waves.add(static_cast<double>(client.result(session).waves));
   }
   return cell;
 }
@@ -190,7 +188,7 @@ int main(int argc, char** argv) {
          "§4.1: 'Reset, Snapshot, Leader Election, and Termination "
          "Detection can be solved using a PIF-based solution'",
          "Validation and cost of the three PIF-based services from fuzzed\n"
-         "initial configurations.");
+         "initial configurations, driven through the svc session API.");
 
   std::printf("--- Global reset ---\n");
   TextTable reset_table({"n", "runs", "failures", "steps (mean)"});
@@ -254,6 +252,7 @@ int main(int argc, char** argv) {
 
   BenchJson json("exp_services");
   json.set("trials", trials);
+  json.set("api", "svc-session");
   json.set("reset_failures", reset_failures);
   json.set("election_failures", election_failures);
   json.set("false_claims", false_claims);

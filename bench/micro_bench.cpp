@@ -10,6 +10,7 @@
 #include "msg/codec.hpp"
 #include "sim/fuzz.hpp"
 #include "sim/simulator.hpp"
+#include "svc/client.hpp"
 
 namespace snapstab {
 namespace {
@@ -216,6 +217,54 @@ void BM_EngineFloorObserveEmit(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_EngineFloorObserveEmit)->Arg(16);
+
+// --- service API overhead (the BENCH_svc_api.json pair) --------------------
+// One full PIF computation per iteration, driven two ways over the same
+// world: the raw request_pif + done() poll, and a svc session (submit ->
+// run_until -> release). Items = engine steps executed, so the ns/item
+// difference is the per-step tax of the session machinery (target: <= 2 ns
+// on the sealed engine floor).
+
+void BM_RawRequestPifCycle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Simulator world(n, 1, 42);
+  for (int p = 0; p < n; ++p)
+    world.add_process(std::make_unique<core::PifProcess>(n - 1, 1));
+  world.set_scheduler(std::make_unique<sim::RandomScheduler>(42));
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = world.step_count();
+    core::request_pif(world, 0, Value::integer(7));
+    world.run(5'000'000, [](sim::Simulator& s) {
+      return s.process_as<core::PifProcess>(0).pif().done();
+    });
+    steps += world.step_count() - before;
+    if (world.log().size() >= (1u << 20)) world.log().clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_RawRequestPifCycle)->Arg(16);
+
+void BM_SessionSubmitPoll(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Simulator world(n, 1, 42);
+  for (int p = 0; p < n; ++p)
+    world.add_process(std::make_unique<core::PifProcess>(n - 1, 1));
+  world.set_scheduler(std::make_unique<sim::RandomScheduler>(42));
+  svc::Client client(world);
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = world.step_count();
+    const svc::Session s =
+        client.submit(0, svc::PifBroadcast{Value::integer(7)});
+    client.run_until(s);
+    client.release(s);
+    steps += world.step_count() - before;
+    if (world.log().size() >= (1u << 20)) world.log().clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_SessionSubmitPoll)->Arg(16);
 
 void BM_SimulatorStep(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

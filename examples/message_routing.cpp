@@ -7,15 +7,20 @@
 // queues, channels stuffed with forged forwarding traffic). The message
 // still arrives, exactly once: snap-stabilization, now end-to-end.
 //
+// The submission is a ForwardMsg session: the admission reason is explicit
+// (Accepted / BufferFull / NoRoute / SelfDestination) and the session
+// completes when the delivery ack surfaces at the destination.
+//
 // Build & run:  ./examples/example_message_routing
 #include <cstdio>
 #include <memory>
 
-#include "core/forward.hpp"
+#include "core/forward_world.hpp"
 #include "core/specs.hpp"
 #include "sim/fuzz.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timeline.hpp"
+#include "svc/client.hpp"
 
 using namespace snapstab;
 
@@ -41,19 +46,23 @@ int main() {
               "flight)\n\n",
               world->network().total_messages_in_flight());
 
-  // The request, made after the faults ceased.
-  core::request_forward(*world, 2, 7, Value::text("meet at noon"));
-
   world->set_scheduler(std::make_unique<sim::RandomScheduler>(
       5, sim::LossOptions{.rate = 0.2, .max_consecutive = 4}));
-  const auto reason = world->run(2'000'000, [](sim::Simulator& s) {
-    for (const auto& e : s.log().events())
-      if (e.kind == sim::ObsKind::FwdDeliver &&
-          e.value == Value::text("meet at noon"))
-        return true;
-    return false;
-  });
-  if (reason != sim::Simulator::StopReason::Predicate) {
+
+  // The request, made after the faults ceased: one ForwardMsg session.
+  svc::Client client(*world);
+  const svc::Session msg = client.submit(
+      2, svc::ForwardMsg{.dst = 7, .payload = Value::text("meet at noon")});
+  std::printf("submission admitted: %s\n",
+              core::forward_submit_name(msg.admission));
+  if (!msg.accepted()) {
+    // A refused session is born Done with completed=false — run_until
+    // returning true would NOT mean delivery.
+    std::printf("ERROR: the service refused the submission\n");
+    return 1;
+  }
+
+  if (!client.run_until(msg, {.max_steps = 2'000'000})) {
     std::printf("ERROR: the payload was not delivered\n");
     return 1;
   }
@@ -67,8 +76,9 @@ int main() {
                .max_ghost_deliveries = 1'000'000});  // ghosts shown above
   std::printf("\nforwarding spec (exactly-once): %s\n",
               report.ok() ? "OK" : report.summary().c_str());
-  std::printf("delivered across %llu acked hops in %llu steps, despite the "
-              "corrupted start and 20%% loss.\n",
+  std::printf("delivery ack '%s' across %llu acked hops in %llu steps, "
+              "despite the corrupted start and 20%% loss.\n",
+              client.result(msg).value.to_string().c_str(),
               static_cast<unsigned long long>([&] {
                 std::uint64_t hops = 0;
                 for (int p = 0; p < 8; ++p)

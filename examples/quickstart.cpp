@@ -6,6 +6,10 @@
 // scrambled protocol variables — and the request is still served correctly:
 // that is snap-stabilization.
 //
+// The request goes through the unified service API: submit a typed
+// descriptor, get a Session mirroring the paper's Request variable
+// (Wait -> In -> Done), await it with run_until.
+//
 // Build & run:  ./examples/quickstart
 #include <cstdio>
 #include <memory>
@@ -14,6 +18,7 @@
 #include "sim/fuzz.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timeline.hpp"
+#include "svc/client.hpp"
 
 using namespace snapstab;
 
@@ -32,6 +37,7 @@ int main() {
           return Value::integer(age_of_q);
         return Value::token(Token::Ok);
       }));  // q
+  world.set_scheduler(std::make_unique<sim::RandomScheduler>(99));
 
   // Transient fault: scramble every variable and stuff garbage into the
   // channels — the arbitrary initial configuration of the paper.
@@ -41,22 +47,22 @@ int main() {
               "messages in flight)\n",
               world.network().total_messages_in_flight());
 
-  // The request: PIF.B-Mes_p := "How old are you?", PIF.Request_p := Wait.
-  core::request_pif(world, 0, Value::text("How old are you?"));
-
-  world.set_scheduler(std::make_unique<sim::RandomScheduler>(99));
-  const auto reason = world.run(100'000, [](sim::Simulator& s) {
-    return s.process_as<core::PifProcess>(0).pif().done();
-  });
-  if (reason != sim::Simulator::StopReason::Predicate) {
+  // The request: one session of the PifBroadcast service at p. Submitting
+  // sets PIF.Request_p := Wait, exactly as the paper prescribes.
+  svc::Client client(world);
+  const svc::Session ask =
+      client.submit(0, svc::PifBroadcast{Value::text("How old are you?")});
+  if (!client.run_until(ask, {.max_steps = 100'000})) {
     std::printf("ERROR: the computation did not terminate\n");
     return 1;
   }
 
   // The full protocol-event timeline of the execution.
   std::printf("%s\n", sim::render_timeline(world.log()).c_str());
-  std::printf("\ncompleted in %llu steps, %llu messages sent "
-              "(request -> broadcast -> feedback -> decision)\n",
+  std::printf("\nsession (origin=%d, service=%s, seq=%u) is %s after "
+              "%llu steps, %llu messages sent\n",
+              ask.key.origin, svc::service_name(ask.key.service), ask.key.seq,
+              core::request_state_name(client.state(ask)),
               static_cast<unsigned long long>(world.step_count()),
               static_cast<unsigned long long>(world.metrics().sends));
   std::printf("q is %lld years old. Despite the corrupted start.\n",

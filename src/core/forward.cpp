@@ -1,4 +1,5 @@
 #include "core/forward.hpp"
+#include "core/forward_world.hpp"
 
 // Context method bodies (the sealed sim fast path) are inline in
 // sim/simulator.hpp; every TU calling them must see the definitions.
@@ -36,22 +37,24 @@ std::int32_t Forward::clamp_flag(std::int32_t v) const noexcept {
   return std::clamp<std::int32_t>(v, 0, flag_bound_);
 }
 
-bool Forward::submit(const Value& payload, sim::ProcessId dst) {
-  if (dst < 0 || dst >= routes_->process_count()) return false;
+ForwardSubmit Forward::submit(const Value& payload, sim::ProcessId dst) {
+  if (dst < 0 || dst >= routes_->process_count())
+    return ForwardSubmit::NoRoute;
   const Item item{payload,
                   pack_fwd_header({self_, dst, next_seq_})};
   if (dst == self_) {
     // Self-addressed submissions honor the same per-hop bound as routed
     // ones — the local delivery queue is a buffer like any other.
     if (local_.size() >= static_cast<std::size_t>(options_.hop_buffer))
-      return false;
+      return ForwardSubmit::SelfDestination;
     ++next_seq_;
     local_.push_back(item);
-    return true;
+    return ForwardSubmit::Accepted;
   }
-  if (!enqueue(routes_->next_index(self_, dst), item)) return false;
+  if (!enqueue(routes_->next_index(self_, dst), item))
+    return ForwardSubmit::BufferFull;
   ++next_seq_;
-  return true;
+  return ForwardSubmit::Accepted;
 }
 
 bool Forward::link_full(const OutLink& out) const noexcept {
@@ -73,6 +76,7 @@ void Forward::deliver(sim::Context& ctx, const Item& item) {
   ++delivered_;
   ctx.observe(sim::Layer::Service, sim::ObsKind::FwdDeliver, origin,
               item.payload);
+  if (on_deliver_) on_deliver_(h, item.payload);
 }
 
 void Forward::tick(sim::Context& ctx) {
@@ -212,14 +216,33 @@ std::uint64_t forward_ghost_budget(sim::Simulator& sim) {
     for (const Message& m : sim.network().edge_channel(e).contents())
       if (m.kind == MsgKind::FwdData) ++budget;
   for (int p = 0; p < sim.process_count(); ++p)
-    budget += sim.process_as<ForwardProcess>(p).forward().queued_payloads();
+    budget += sim.process_as<svc::ServiceHost>(p).forward().queued_payloads();
   return budget;
 }
+
+namespace {
+
+svc::HostConfig forward_only_config(
+    sim::ProcessId self, int degree,
+    std::shared_ptr<const sim::RoutingTable> routes,
+    Forward::Options options) {
+  svc::HostConfig cfg;
+  cfg.with_pif = false;
+  cfg.self = self;
+  cfg.degree = degree;
+  cfg.channel_capacity = options.channel_capacity;
+  cfg.routes = std::move(routes);
+  cfg.forward_options = options;
+  return cfg;
+}
+
+}  // namespace
 
 ForwardProcess::ForwardProcess(sim::ProcessId self, int degree,
                                std::shared_ptr<const sim::RoutingTable> routes,
                                Forward::Options options)
-    : fwd_(self, degree, std::move(routes), options) {}
+    : ServiceHost(forward_only_config(self, degree, std::move(routes),
+                                      options)) {}
 
 std::unique_ptr<sim::Simulator> forward_world(sim::Topology topology,
                                               std::size_t channel_capacity,
@@ -237,8 +260,10 @@ std::unique_ptr<sim::Simulator> forward_world(sim::Topology topology,
 
 bool request_forward(sim::Simulator& sim, sim::ProcessId origin,
                      sim::ProcessId dst, const Value& payload) {
-  auto& proc = sim.process_as<ForwardProcess>(origin);
-  if (!proc.forward().submit(payload, dst)) return false;
+  auto& proc = sim.process_as<svc::ServiceHost>(origin);
+  // The historic bool contract: any refusal reason collapses to false.
+  if (proc.forward().submit(payload, dst) != ForwardSubmit::Accepted)
+    return false;
   sim.log().emit(sim::Observation{sim.step_count(), origin,
                                   sim::Layer::Service, sim::ObsKind::FwdSubmit,
                                   dst, payload});

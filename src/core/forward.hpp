@@ -46,6 +46,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -60,6 +61,31 @@ struct ForwardOptions {
   int channel_capacity = 1;  // known bound c; hop flag range is {0..2c+2}
   int hop_buffer = 8;        // max queued payloads per out-link
 };
+
+// Admission status of submit(). Everything except Accepted is a refusal:
+// the submission is NOT covered by the exactly-once guarantee and must be
+// resubmitted by the application once the refusing condition clears.
+enum class ForwardSubmit : std::uint8_t {
+  Accepted,         // queued on the first hop (or the local delivery queue)
+  BufferFull,       // the first-hop out-link buffer is full (backpressure)
+  NoRoute,          // dst is not a process of this topology
+  SelfDestination,  // dst == self and the local delivery queue is full
+};
+
+inline constexpr int kForwardSubmitCount = 4;
+
+constexpr const char* forward_submit_name(ForwardSubmit s) noexcept {
+  static_assert(kForwardSubmitCount ==
+                    static_cast<int>(ForwardSubmit::SelfDestination) + 1,
+                "new ForwardSubmit: update count and forward_submit_name");
+  switch (s) {
+    case ForwardSubmit::Accepted: return "accepted";
+    case ForwardSubmit::BufferFull: return "buffer-full";
+    case ForwardSubmit::NoRoute: return "no-route";
+    case ForwardSubmit::SelfDestination: return "self-destination";
+  }
+  return "?";
+}
 
 class Forward {
  public:
@@ -76,11 +102,23 @@ class Forward {
   std::int32_t flag_bound() const noexcept { return flag_bound_; }
   int hop_buffer() const noexcept { return options_.hop_buffer; }
 
-  // Accepts `payload` for delivery at `dst`. Returns false when `dst` is not
-  // a process of this topology or the first-hop buffer is full (local
-  // backpressure) — a refused submission is NOT covered by the exactly-once
-  // guarantee and must be resubmitted by the application.
-  bool submit(const Value& payload, sim::ProcessId dst);
+  // Accepts `payload` for delivery at `dst`; anything except Accepted is a
+  // refusal with its reason (see ForwardSubmit above).
+  ForwardSubmit submit(const Value& payload, sim::ProcessId dst);
+
+  // The wire sequence number the next accepted submission will carry in its
+  // packed FwdHeader (20-bit field; see msg/message.hpp). The service layer
+  // reads it before submit() to key end-to-end delivery matching.
+  std::uint32_t next_wire_seq() const noexcept { return next_seq_ & 0xFFFFF; }
+
+  // Optional delivery hook: called for every payload delivered *here*
+  // (genuine and ghost alike), after the FwdDeliver observation, with the
+  // unpacked routing header. The svc::ServiceHost uses it to record
+  // (origin, seq, payload) for end-to-end session completion.
+  void set_on_deliver(
+      std::function<void(const FwdHeader&, const Value&)> hook) {
+    on_deliver_ = std::move(hook);
+  }
 
   // Spontaneous actions: deliver self-addressed submissions, start queued
   // transfers, retransmit active hops.
@@ -132,6 +170,7 @@ class Forward {
   std::shared_ptr<const sim::RoutingTable> routes_;
   Options options_;
   std::int32_t flag_bound_;
+  std::function<void(const FwdHeader&, const Value&)> on_deliver_;
 
   std::vector<OutLink> out_;        // sender role, one per local index
   std::vector<std::int32_t> racc_;  // receiver role, one per local index
@@ -145,47 +184,9 @@ class Forward {
   std::uint64_t stalled_ = 0;
 };
 
-// Simulator wrapper running the forwarding service alone.
-class ForwardProcess final : public sim::Process {
- public:
-  ForwardProcess(sim::ProcessId self, int degree,
-                 std::shared_ptr<const sim::RoutingTable> routes,
-                 Forward::Options options = {});
-
-  Forward& forward() noexcept { return fwd_; }
-  const Forward& forward() const noexcept { return fwd_; }
-
-  void on_tick(sim::Context& ctx) override { fwd_.tick(ctx); }
-  void on_message(sim::Context& ctx, int ch, const Message& m) override {
-    fwd_.handle_message(ctx, ch, m);
-  }
-  bool tick_enabled() const override { return fwd_.tick_enabled(); }
-  void randomize(Rng& rng) override { fwd_.randomize(rng); }
-
- private:
-  Forward fwd_;
-};
-
-// Builds a forwarding world: one ForwardProcess per node of `topology`, all
-// sharing one routing table.
-std::unique_ptr<sim::Simulator> forward_world(sim::Topology topology,
-                                              std::size_t channel_capacity,
-                                              std::uint64_t seed,
-                                              Forward::Options options = {});
-
-// Submits a payload at `origin` for `dst` and records the submission in the
-// observation log (the event check_forward_spec matches deliveries
-// against). Returns false — and records nothing — when the service refused
-// the submission (full first-hop buffer).
-bool request_forward(sim::Simulator& sim, sim::ProcessId origin,
-                     sim::ProcessId dst, const Value& payload);
-
-// The number of corrupted entries in `sim`'s *current* configuration that
-// can lawfully surface as ghost deliveries: forged FwdData messages in the
-// channels plus payloads sitting in per-hop queues. Capture it right after
-// fuzzing and pass it as ForwardSpecOptions::max_ghost_deliveries — the
-// single definition both the tests and exp_forwarding use.
-std::uint64_t forward_ghost_budget(sim::Simulator& sim);
+// The ForwardProcess simulator wrapper, forward_world, request_forward and
+// forward_ghost_budget moved to core/forward_world.hpp (the wrapper is a
+// svc::ServiceHost now, and this header must stay includable from there).
 
 }  // namespace snapstab::core
 

@@ -15,7 +15,16 @@ namespace snapstab::core {
 
 enum class RequestState : std::uint8_t { Wait, In, Done };
 
-inline const char* request_state_name(RequestState s) noexcept {
+inline constexpr int kRequestStateCount = 3;
+
+// Exhaustive by construction: -Wswitch flags a missing enumerator, the
+// static_assert forces the count (and every helper switching on it) to be
+// revisited when a state is added — a new state can't silently print "?".
+constexpr const char* request_state_name(RequestState s) noexcept {
+  static_assert(kRequestStateCount ==
+                    static_cast<int>(RequestState::Done) + 1,
+                "new RequestState: update kRequestStateCount and every "
+                "switch over the enum");
   switch (s) {
     case RequestState::Wait: return "Wait";
     case RequestState::In: return "In";

@@ -6,235 +6,131 @@
 
 namespace snapstab::core {
 
+namespace {
+
+svc::HostConfig base_config(int degree, int channel_capacity) {
+  svc::HostConfig cfg;
+  cfg.degree = degree;
+  cfg.channel_capacity = channel_capacity;
+  return cfg;
+}
+
+svc::HostConfig pif_config(
+    int degree, int channel_capacity,
+    std::function<Value(sim::Context&, int, const Value&)> app_brd) {
+  svc::HostConfig cfg = base_config(degree, channel_capacity);
+  cfg.app_brd = std::move(app_brd);
+  return cfg;
+}
+
+svc::HostConfig idl_config(std::int64_t id, int degree, int channel_capacity,
+                           bool unsafe_lower_layer_first) {
+  svc::HostConfig cfg = base_config(degree, channel_capacity);
+  cfg.id = id;
+  cfg.with_idl = true;
+  cfg.unsafe_lower_layer_first = unsafe_lower_layer_first;
+  return cfg;
+}
+
+svc::HostConfig me_config(std::int64_t id, int degree, StackOptions options) {
+  svc::HostConfig cfg = base_config(degree, options.channel_capacity);
+  cfg.id = id;
+  cfg.with_me = true;
+  cfg.me_options = std::move(options.me);
+  return cfg;
+}
+
+svc::HostConfig reset_config(int degree, int channel_capacity,
+                             std::function<void(sim::Context&)> on_reset) {
+  svc::HostConfig cfg = base_config(degree, channel_capacity);
+  cfg.with_reset = true;
+  cfg.on_reset = std::move(on_reset);
+  return cfg;
+}
+
+svc::HostConfig election_config(std::int64_t id, int degree,
+                                int channel_capacity) {
+  svc::HostConfig cfg = base_config(degree, channel_capacity);
+  cfg.id = id;
+  cfg.with_election = true;
+  return cfg;
+}
+
+svc::HostConfig snapshot_config(int degree, int channel_capacity,
+                                std::function<Value()> local_state) {
+  svc::HostConfig cfg = base_config(degree, channel_capacity);
+  cfg.with_snapshot = true;
+  cfg.local_state = std::move(local_state);
+  return cfg;
+}
+
+svc::HostConfig termdetect_config(int degree, int channel_capacity,
+                                  DiffusingApp app) {
+  svc::HostConfig cfg = base_config(degree, channel_capacity);
+  cfg.with_termdetect = true;
+  cfg.app = std::move(app);
+  return cfg;
+}
+
+}  // namespace
+
 PifProcess::PifProcess(
     int degree, int channel_capacity,
     std::function<Value(sim::Context&, int, const Value&)> app_brd)
-    : pif_(degree, channel_capacity) {
-  Pif::Callbacks cb;
-  if (app_brd) cb.on_brd = std::move(app_brd);
-  pif_.set_callbacks(std::move(cb));
-}
+    : ServiceHost(pif_config(degree, channel_capacity, std::move(app_brd))) {}
 
 IdlProcess::IdlProcess(std::int64_t id, int degree, int channel_capacity,
                        bool unsafe_lower_layer_first)
-    : pif_(degree, channel_capacity),
-      idl_(id, degree, pif_),
-      unsafe_lower_layer_first_(unsafe_lower_layer_first) {
-  Pif::Callbacks cb;
-  cb.on_brd = [this](sim::Context& ctx, int ch, const Value& b) -> Value {
-    if (b.is_token(Token::IdlQuery)) return idl_.on_brd(ctx, ch);
-    return Value::token(Token::Ok);  // ghost broadcast: acknowledge politely
-  };
-  cb.on_fck = [this](sim::Context& ctx, int ch, const Value& f) {
-    if (pif_.b_mes().is_token(Token::IdlQuery)) idl_.on_fck(ctx, ch, f);
-  };
-  pif_.set_callbacks(std::move(cb));
-}
-
-void IdlProcess::on_tick(sim::Context& ctx) {
-  // Upper layer first: when IDL's A1 sets PIF.Request := Wait, PIF's A1
-  // (the flag reset) executes within the same atomic activation. Ticking
-  // PIF first would leave a one-step window in which the *fuzzed* PIF flags
-  // are still live under the new request, and a delivery in that window
-  // could fire a ghost receive-fck that A4 folds into the monotone minID.
-  // The paper's all-enabled-actions-per-activation semantics has no such
-  // window; this ordering restores it (see DESIGN.md §6). The unsafe order
-  // exists only so exp_ablation can quantify the hazard.
-  if (unsafe_lower_layer_first_) {
-    pif_.tick(ctx);
-    idl_.tick(ctx);
-    return;
-  }
-  idl_.tick(ctx);
-  pif_.tick(ctx);
-}
-
-void IdlProcess::randomize(Rng& rng) {
-  pif_.randomize(rng);
-  idl_.randomize(rng);
+    : ServiceHost(
+          idl_config(id, degree, channel_capacity, unsafe_lower_layer_first)) {
 }
 
 MeStackProcess::MeStackProcess(std::int64_t id, int degree,
                                StackOptions options)
-    : pif_(degree, options.channel_capacity),
-      idl_(id, degree, pif_),
-      me_(id, degree, pif_, idl_, std::move(options.me)) {
-  Pif::Callbacks cb;
-  cb.on_brd = [this](sim::Context& ctx, int ch, const Value& b) -> Value {
-    switch (b.as_token(Token::Ok)) {
-      case Token::IdlQuery: return idl_.on_brd(ctx, ch);       // IDL A3
-      case Token::Ask: return me_.on_brd_ask(ctx, ch);         // ME A5
-      case Token::Exit: return me_.on_brd_exit(ctx, ch);       // ME A6
-      case Token::ExitCs: return me_.on_brd_exitcs(ctx, ch);   // ME A7
-      default: return Value::token(Token::Ok);  // ghost broadcast
-    }
-  };
-  cb.on_fck = [this](sim::Context& ctx, int ch, const Value& f) {
-    const Value& mine = pif_.b_mes();
-    if (mine.is_token(Token::IdlQuery)) {
-      idl_.on_fck(ctx, ch, f);                                 // IDL A4
-    } else if (mine.is_token(Token::Ask)) {
-      me_.on_fck_ask(ctx, ch, f);                              // ME A8/A9
-    }
-    // EXIT / EXITCS / ghost feedbacks: ME A10 — do nothing.
-  };
-  pif_.set_callbacks(std::move(cb));
-}
-
-void MeStackProcess::on_tick(sim::Context& ctx) {
-  // A process inside its critical section executes nothing else: the CS sits
-  // inside atomic action A3 in the paper, so no other action may interleave.
-  if (me_.in_cs()) {
-    me_.tick(ctx);
-    return;
-  }
-  // Upper layers before PIF: a sub-protocol request submitted during this
-  // activation (ME A0 -> IDL A1 -> PIF A1) starts within the same atomic
-  // step, exactly as the paper's activation semantics prescribes. See the
-  // comment in IdlProcess::on_tick for the corruption window this closes.
-  me_.tick(ctx);
-  if (me_.in_cs()) return;  // A3 just entered the CS
-  idl_.tick(ctx);
-  pif_.tick(ctx);
-}
-
-void MeStackProcess::randomize(Rng& rng) {
-  pif_.randomize(rng);
-  idl_.randomize(rng);
-  me_.randomize(rng);
-}
+    : ServiceHost(me_config(id, degree, std::move(options))) {}
 
 ResetProcess::ResetProcess(int degree, int channel_capacity,
                            std::function<void(sim::Context&)> on_reset)
-    : pif_(degree, channel_capacity), reset_(pif_, std::move(on_reset)) {
-  Pif::Callbacks cb;
-  cb.on_brd = [this](sim::Context& ctx, int ch, const Value& b) -> Value {
-    if (b.is_token(Token::Reset)) return reset_.on_brd(ctx, ch);
-    return Value::token(Token::Ok);
-  };
-  pif_.set_callbacks(std::move(cb));
-}
-
-void ResetProcess::on_tick(sim::Context& ctx) {
-  reset_.tick(ctx);
-  pif_.tick(ctx);
-}
-
-void ResetProcess::randomize(Rng& rng) {
-  pif_.randomize(rng);
-  reset_.randomize(rng);
-}
+    : ServiceHost(
+          reset_config(degree, channel_capacity, std::move(on_reset))) {}
 
 ElectionProcess::ElectionProcess(std::int64_t id, int degree,
                                  int channel_capacity)
-    : pif_(degree, channel_capacity),
-      idl_(id, degree, pif_),
-      election_(idl_) {
-  Pif::Callbacks cb;
-  cb.on_brd = [this](sim::Context& ctx, int ch, const Value& b) -> Value {
-    if (b.is_token(Token::IdlQuery)) return idl_.on_brd(ctx, ch);
-    return Value::token(Token::Ok);
-  };
-  cb.on_fck = [this](sim::Context& ctx, int ch, const Value& f) {
-    if (pif_.b_mes().is_token(Token::IdlQuery)) idl_.on_fck(ctx, ch, f);
-  };
-  pif_.set_callbacks(std::move(cb));
-}
-
-void ElectionProcess::on_tick(sim::Context& ctx) {
-  idl_.tick(ctx);
-  pif_.tick(ctx);
-}
-
-void ElectionProcess::randomize(Rng& rng) {
-  pif_.randomize(rng);
-  idl_.randomize(rng);
-}
+    : ServiceHost(election_config(id, degree, channel_capacity)) {}
 
 SnapshotProcess::SnapshotProcess(int degree, int channel_capacity,
                                  std::function<Value()> local_state)
-    : pif_(degree, channel_capacity),
-      snapshot_(pif_, degree, std::move(local_state)) {
-  Pif::Callbacks cb;
-  cb.on_brd = [this](sim::Context& ctx, int ch, const Value& b) -> Value {
-    if (b.is_token(Token::SnapQuery)) return snapshot_.on_brd(ctx, ch);
-    return Value::token(Token::Ok);
-  };
-  cb.on_fck = [this](sim::Context& ctx, int ch, const Value& f) {
-    if (pif_.b_mes().is_token(Token::SnapQuery)) snapshot_.on_fck(ctx, ch, f);
-  };
-  pif_.set_callbacks(std::move(cb));
-}
-
-void SnapshotProcess::on_tick(sim::Context& ctx) {
-  snapshot_.tick(ctx);
-  pif_.tick(ctx);
-}
-
-void SnapshotProcess::randomize(Rng& rng) {
-  pif_.randomize(rng);
-  snapshot_.randomize(rng);
-}
+    : ServiceHost(
+          snapshot_config(degree, channel_capacity, std::move(local_state))) {}
 
 TermDetectProcess::TermDetectProcess(int degree, int channel_capacity,
                                      DiffusingApp app)
-    : pif_(degree, channel_capacity),
-      app_(std::move(app)),
-      detect_(pif_, degree, app_.counters) {
-  Pif::Callbacks cb;
-  cb.on_brd = [this](sim::Context& ctx, int ch, const Value& b) -> Value {
-    if (b.is_token(Token::Probe)) return detect_.on_brd(ctx, ch);
-    return Value::token(Token::Ok);
-  };
-  cb.on_fck = [this](sim::Context& ctx, int ch, const Value& f) {
-    if (pif_.b_mes().is_token(Token::Probe)) detect_.on_fck(ctx, ch, f);
-  };
-  pif_.set_callbacks(std::move(cb));
-}
+    : ServiceHost(
+          termdetect_config(degree, channel_capacity, std::move(app))) {}
 
-void TermDetectProcess::on_tick(sim::Context& ctx) {
-  detect_.tick(ctx);
-  pif_.tick(ctx);
-  if (app_.on_tick) app_.on_tick(ctx);
-}
-
-void TermDetectProcess::on_message(sim::Context& ctx, int ch,
-                                   const Message& m) {
-  if (m.kind == MsgKind::App) {
-    if (app_.on_message) app_.on_message(ctx, ch, m.b);
-    return;
-  }
-  pif_.handle_message(ctx, ch, m);
-}
-
-bool TermDetectProcess::tick_enabled() const {
-  if (pif_.tick_enabled() || detect_.tick_enabled()) return true;
-  return app_.has_work && app_.has_work();
-}
-
-void TermDetectProcess::randomize(Rng& rng) {
-  pif_.randomize(rng);
-  detect_.randomize(rng);
-}
+// --- legacy shims ----------------------------------------------------------
+// Direct Request pokes with the historic observation format; no session
+// bookkeeping (request_pif's restart-on-rerequest and request_cs's refusal
+// are part of the pinned contract).
 
 void request_pif(sim::Simulator& sim, sim::ProcessId p, const Value& b) {
-  auto& proc = sim.process_as<PifProcess>(p);
-  proc.pif().request(b);
+  auto& host = sim.process_as<svc::ServiceHost>(p);
+  host.pif().request(b);
   sim.log().emit(sim::Observation{sim.step_count(), p, sim::Layer::Pif,
                                   sim::ObsKind::RequestWait, -1, b});
 }
 
 void request_idl(sim::Simulator& sim, sim::ProcessId p) {
-  auto& proc = sim.process_as<IdlProcess>(p);
-  proc.idl().request();
+  auto& host = sim.process_as<svc::ServiceHost>(p);
+  host.idl().request();
   sim.log().emit(sim::Observation{sim.step_count(), p, sim::Layer::Idl,
                                   sim::ObsKind::RequestWait, -1,
                                   Value::none()});
 }
 
 bool request_cs(sim::Simulator& sim, sim::ProcessId p) {
-  auto& proc = sim.process_as<MeStackProcess>(p);
-  if (!proc.me().request_cs()) return false;
+  auto& host = sim.process_as<svc::ServiceHost>(p);
+  if (!host.me().request_cs()) return false;
   sim.log().emit(sim::Observation{sim.step_count(), p, sim::Layer::Me,
                                   sim::ObsKind::RequestWait, -1,
                                   Value::none()});
@@ -242,28 +138,28 @@ bool request_cs(sim::Simulator& sim, sim::ProcessId p) {
 }
 
 void request_reset(sim::Simulator& sim, sim::ProcessId p) {
-  sim.process_as<ResetProcess>(p).reset().request();
+  sim.process_as<svc::ServiceHost>(p).reset().request();
   sim.log().emit(sim::Observation{sim.step_count(), p, sim::Layer::Service,
                                   sim::ObsKind::RequestWait, -1,
                                   Value::token(Token::Reset)});
 }
 
 void request_election(sim::Simulator& sim, sim::ProcessId p) {
-  sim.process_as<ElectionProcess>(p).election().request();
+  sim.process_as<svc::ServiceHost>(p).election().request();
   sim.log().emit(sim::Observation{sim.step_count(), p, sim::Layer::Idl,
                                   sim::ObsKind::RequestWait, -1,
                                   Value::none()});
 }
 
 void request_termdetect(sim::Simulator& sim, sim::ProcessId p) {
-  sim.process_as<TermDetectProcess>(p).detector().request();
+  sim.process_as<svc::ServiceHost>(p).detector().request();
   sim.log().emit(sim::Observation{sim.step_count(), p, sim::Layer::Service,
                                   sim::ObsKind::RequestWait, -1,
                                   Value::token(Token::Probe)});
 }
 
 void request_snapshot(sim::Simulator& sim, sim::ProcessId p) {
-  sim.process_as<SnapshotProcess>(p).snapshot().request();
+  sim.process_as<svc::ServiceHost>(p).snapshot().request();
   sim.log().emit(sim::Observation{sim.step_count(), p, sim::Layer::Service,
                                   sim::ObsKind::RequestWait, -1,
                                   Value::token(Token::SnapQuery)});

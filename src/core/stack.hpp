@@ -1,24 +1,29 @@
-// stack.hpp — per-process protocol stacks.
+// stack.hpp — the historic per-process protocol-stack wrappers, now thin
+// configured views over svc::ServiceHost.
 //
 // The paper layers its protocols: IDL runs on top of PIF, and ME runs on
-// top of both, all sharing a *single* PIF instance per process (the paper
-// uses one PIF message type for every computation). The wrappers here wire
-// that sharing:
+// top of both, all sharing a *single* PIF instance per process. That
+// sharing — and the dispatch rule routing received broadcasts/feedbacks to
+// the right layer — lives in svc::ServiceHost since PR 5; each class below
+// is just a named HostConfig so existing worlds, tests and the pinned
+// golden traces keep constructing the exact same stacks:
 //
-//   PifProcess — Protocol PIF alone, with an application feedback hook
-//                (e.g. the quickstart's "How old are you?" exchange);
-//   IdlProcess — IDL over PIF (experiment E4);
-//   MeStackProcess — ME over IDL over PIF (experiments E5, E11).
+//   PifProcess        — Protocol PIF alone, with an application hook;
+//   IdlProcess        — IDL over PIF (experiment E4);
+//   MeStackProcess    — ME over IDL over PIF (experiments E5, E11);
+//   ResetProcess / ElectionProcess / SnapshotProcess / TermDetectProcess
+//                     — the PIF-based services of the paper's §4.1 list.
 //
-// Dispatch rule (mirrors the paper's actions): a received broadcast payload
-// selects the receive-brd handler (IDL -> Idl::on_brd, ASK/EXIT/EXITCS ->
-// the ME handlers A5-A7, anything else is politely acknowledged with OK);
-// a feedback is routed by the process's *own* current B-Mes, because
-// receive-fck events only concern the process's own computation.
+// New code should prefer svc::ServiceHost + svc::Client (the session API,
+// see svc/client.hpp): one submit/poll/complete surface over every
+// protocol, with queuing and uniform results.
 //
-// The request_* helpers submit external requests between simulator steps
-// and record them in the observation log so the specification checkers can
-// verify the Start properties.
+// The request_* helpers below are retained as *legacy shims*: they poke the
+// layer's Request variable directly between simulator steps and record the
+// request in the observation log — the exact historic semantics (including
+// request_pif's restart-on-rerequest), with no session bookkeeping. They
+// keep the six golden traces bit-identical; see README "Service API" for
+// the migration table.
 #ifndef SNAPSTAB_CORE_STACK_HPP
 #define SNAPSTAB_CORE_STACK_HPP
 
@@ -34,6 +39,7 @@
 #include "core/termdetect.hpp"
 #include "sim/process.hpp"
 #include "sim/simulator.hpp"
+#include "svc/host.hpp"
 
 namespace snapstab::core {
 
@@ -41,57 +47,26 @@ namespace snapstab::core {
 // PIF alone.
 // ---------------------------------------------------------------------------
 
-class PifProcess final : public sim::Process {
+class PifProcess final : public svc::ServiceHost {
  public:
   // `app_brd` supplies the feedback for a received broadcast; by default
   // every broadcast is acknowledged with OK.
   PifProcess(int degree, int channel_capacity,
              std::function<Value(sim::Context&, int, const Value&)> app_brd =
                  {});
-
-  Pif& pif() noexcept { return pif_; }
-  const Pif& pif() const noexcept { return pif_; }
-
-  void on_tick(sim::Context& ctx) override { pif_.tick(ctx); }
-  void on_message(sim::Context& ctx, int ch, const Message& m) override {
-    pif_.handle_message(ctx, ch, m);
-  }
-  bool tick_enabled() const override { return pif_.tick_enabled(); }
-  void randomize(Rng& rng) override { pif_.randomize(rng); }
-
- private:
-  Pif pif_;
 };
 
 // ---------------------------------------------------------------------------
 // IDL over PIF.
 // ---------------------------------------------------------------------------
 
-class IdlProcess final : public sim::Process {
+class IdlProcess final : public svc::ServiceHost {
  public:
   // `unsafe_lower_layer_first` reverses the tick order (PIF before IDL),
   // reopening the ghost-feedback window of DESIGN.md §6.3 — FOR THE
   // ABLATION EXPERIMENT ONLY.
   IdlProcess(std::int64_t id, int degree, int channel_capacity,
              bool unsafe_lower_layer_first = false);
-
-  Pif& pif() noexcept { return pif_; }
-  Idl& idl() noexcept { return idl_; }
-  const Idl& idl() const noexcept { return idl_; }
-
-  void on_tick(sim::Context& ctx) override;
-  void on_message(sim::Context& ctx, int ch, const Message& m) override {
-    pif_.handle_message(ctx, ch, m);
-  }
-  bool tick_enabled() const override {
-    return pif_.tick_enabled() || idl_.tick_enabled();
-  }
-  void randomize(Rng& rng) override;
-
- private:
-  Pif pif_;
-  Idl idl_;
-  bool unsafe_lower_layer_first_;
 };
 
 // ---------------------------------------------------------------------------
@@ -103,163 +78,67 @@ struct StackOptions {
   MeOptions me;
 };
 
-class MeStackProcess final : public sim::Process {
+class MeStackProcess final : public svc::ServiceHost {
  public:
   MeStackProcess(std::int64_t id, int degree, StackOptions options = {});
-
-  Pif& pif() noexcept { return pif_; }
-  Idl& idl() noexcept { return idl_; }
-  Me& me() noexcept { return me_; }
-  const Me& me() const noexcept { return me_; }
-
-  void on_tick(sim::Context& ctx) override;
-  void on_message(sim::Context& ctx, int ch, const Message& m) override {
-    pif_.handle_message(ctx, ch, m);
-  }
-  bool tick_enabled() const override {
-    return pif_.tick_enabled() || idl_.tick_enabled() || me_.tick_enabled();
-  }
-  bool busy() const override { return me_.in_cs(); }
-  void randomize(Rng& rng) override;
-
- private:
-  Pif pif_;
-  Idl idl_;
-  Me me_;
 };
 
 // ---------------------------------------------------------------------------
 // PIF-based services (the paper's §4.1 list: Reset, Leader Election,
-// Termination Detection).
+// Snapshot, Termination Detection).
 // ---------------------------------------------------------------------------
 
-class ResetProcess final : public sim::Process {
+class ResetProcess final : public svc::ServiceHost {
  public:
   ResetProcess(int degree, int channel_capacity,
                std::function<void(sim::Context&)> on_reset = {});
-
-  Pif& pif() noexcept { return pif_; }
-  Reset& reset() noexcept { return reset_; }
-  const Reset& reset() const noexcept { return reset_; }
-
-  void on_tick(sim::Context& ctx) override;
-  void on_message(sim::Context& ctx, int ch, const Message& m) override {
-    pif_.handle_message(ctx, ch, m);
-  }
-  bool tick_enabled() const override {
-    return pif_.tick_enabled() || reset_.tick_enabled();
-  }
-  void randomize(Rng& rng) override;
-
- private:
-  Pif pif_;
-  Reset reset_;
 };
 
-class ElectionProcess final : public sim::Process {
+class ElectionProcess final : public svc::ServiceHost {
  public:
   ElectionProcess(std::int64_t id, int degree, int channel_capacity);
-
-  Pif& pif() noexcept { return pif_; }
-  Idl& idl() noexcept { return idl_; }
-  Election& election() noexcept { return election_; }
-  const Election& election() const noexcept { return election_; }
-
-  void on_tick(sim::Context& ctx) override;
-  void on_message(sim::Context& ctx, int ch, const Message& m) override {
-    pif_.handle_message(ctx, ch, m);
-  }
-  bool tick_enabled() const override {
-    return pif_.tick_enabled() || idl_.tick_enabled();
-  }
-  void randomize(Rng& rng) override;
-
- private:
-  Pif pif_;
-  Idl idl_;
-  Election election_;
 };
 
-class SnapshotProcess final : public sim::Process {
+class SnapshotProcess final : public svc::ServiceHost {
  public:
   SnapshotProcess(int degree, int channel_capacity,
                   std::function<Value()> local_state);
-
-  Pif& pif() noexcept { return pif_; }
-  Snapshot& snapshot() noexcept { return snapshot_; }
-  const Snapshot& snapshot() const noexcept { return snapshot_; }
-
-  void on_tick(sim::Context& ctx) override;
-  void on_message(sim::Context& ctx, int ch, const Message& m) override {
-    pif_.handle_message(ctx, ch, m);
-  }
-  bool tick_enabled() const override {
-    return pif_.tick_enabled() || snapshot_.tick_enabled();
-  }
-  void randomize(Rng& rng) override;
-
- private:
-  Pif pif_;
-  Snapshot snapshot_;
 };
 
-// The application observed by the termination detector: a diffusing
-// computation exchanging App messages. All hooks are optional except
-// `counters`.
-struct DiffusingApp {
-  // An App message arrived on channel `ch` with the given payload.
-  std::function<void(sim::Context&, int ch, const Value&)> on_message;
-  // Spontaneous application work (may send App messages via the context;
-  // a send returning false was refused by the full channel — keep the work
-  // and retry on a later activation).
-  std::function<void(sim::Context&)> on_tick;
-  std::function<bool()> has_work;  // drives scheduling of on_tick
-  std::function<AppCounters()> counters;  // required
-};
-
-class TermDetectProcess final : public sim::Process {
+class TermDetectProcess final : public svc::ServiceHost {
  public:
   TermDetectProcess(int degree, int channel_capacity, DiffusingApp app);
-
-  Pif& pif() noexcept { return pif_; }
-  TermDetect& detector() noexcept { return detect_; }
-  const TermDetect& detector() const noexcept { return detect_; }
-
-  void on_tick(sim::Context& ctx) override;
-  void on_message(sim::Context& ctx, int ch, const Message& m) override;
-  bool tick_enabled() const override;
-  void randomize(Rng& rng) override;
-
- private:
-  Pif pif_;
-  DiffusingApp app_;
-  TermDetect detect_;
 };
 
 // ---------------------------------------------------------------------------
-// External request drivers (record the request in the observation log).
+// External request drivers — LEGACY SHIMS over the svc layer (see the file
+// comment). They work on any svc::ServiceHost with the named layer
+// configured, record the request in the observation log, and preserve the
+// historic semantics exactly. New code: svc::Client::submit.
 // ---------------------------------------------------------------------------
 
-// Requests a PIF broadcast of `b` at process `p` (a PifProcess).
+// Requests a PIF broadcast of `b` at process `p`. Re-requesting before the
+// decision restarts the computation (historic behavior; sessions queue
+// instead).
 void request_pif(sim::Simulator& sim, sim::ProcessId p, const Value& b);
 
-// Requests an IDs-Learning computation at process `p` (an IdlProcess).
+// Requests an IDs-Learning computation at process `p`.
 void request_idl(sim::Simulator& sim, sim::ProcessId p);
 
-// Requests the critical section at process `p` (a MeStackProcess); returns
-// false when a previous request is still in service.
+// Requests the critical section at process `p`; returns false when a
+// previous request is still in service (sessions queue instead).
 bool request_cs(sim::Simulator& sim, sim::ProcessId p);
 
-// Requests a global reset at process `p` (a ResetProcess).
+// Requests a global reset at process `p`.
 void request_reset(sim::Simulator& sim, sim::ProcessId p);
 
-// Requests a leader election at process `p` (an ElectionProcess).
+// Requests a leader election at process `p`.
 void request_election(sim::Simulator& sim, sim::ProcessId p);
 
-// Requests a termination detection at process `p` (a TermDetectProcess).
+// Requests a termination detection at process `p`.
 void request_termdetect(sim::Simulator& sim, sim::ProcessId p);
 
-// Requests a global snapshot at process `p` (a SnapshotProcess).
+// Requests a global snapshot at process `p`.
 void request_snapshot(sim::Simulator& sim, sim::ProcessId p);
 
 }  // namespace snapstab::core

@@ -43,6 +43,20 @@ struct AppCounters {
   bool operator==(const AppCounters&) const = default;
 };
 
+// The application observed by the termination detector: a diffusing
+// computation exchanging App messages. All hooks are optional except
+// `counters`.
+struct DiffusingApp {
+  // An App message arrived on channel `ch` with the given payload.
+  std::function<void(sim::Context&, int ch, const Value&)> on_message;
+  // Spontaneous application work (may send App messages via the context;
+  // a send returning false was refused by the full channel — keep the work
+  // and retry on a later activation).
+  std::function<void(sim::Context&)> on_tick;
+  std::function<bool()> has_work;  // drives scheduling of on_tick
+  std::function<AppCounters()> counters;  // required
+};
+
 class TermDetect {
  public:
   TermDetect(Pif& pif, int degree, std::function<AppCounters()> counters);

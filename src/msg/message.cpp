@@ -4,20 +4,6 @@
 
 namespace snapstab {
 
-const char* msg_kind_name(MsgKind k) noexcept {
-  switch (k) {
-    case MsgKind::Pif: return "PIF";
-    case MsgKind::NaiveBrd: return "NBRD";
-    case MsgKind::NaiveFck: return "NFCK";
-    case MsgKind::SeqBrd: return "SBRD";
-    case MsgKind::SeqFck: return "SFCK";
-    case MsgKind::App: return "APP";
-    case MsgKind::FwdData: return "FDAT";
-    case MsgKind::FwdEcho: return "FECH";
-  }
-  return "?";
-}
-
 std::int64_t pack_fwd_header(const FwdHeader& h) noexcept {
   const auto seq = static_cast<std::uint64_t>(h.seq) & 0xFFFFFu;
   const auto dst = static_cast<std::uint64_t>(h.dst) & 0xFFFFu;

@@ -39,7 +39,26 @@ enum class MsgKind : std::uint8_t {
   FwdEcho,  // forwarding service: hop acknowledgement echo
 };
 
-const char* msg_kind_name(MsgKind k) noexcept;
+inline constexpr int kMsgKindCount = 8;
+
+// Exhaustive-switch constexpr name helper: -Wswitch flags a missing
+// enumerator, the static_assert forces the count (and the codec's
+// validity bound) to be revisited when a kind is added.
+constexpr const char* msg_kind_name(MsgKind k) noexcept {
+  static_assert(kMsgKindCount == static_cast<int>(MsgKind::FwdEcho) + 1,
+                "new MsgKind: update kMsgKindCount and every switch");
+  switch (k) {
+    case MsgKind::Pif: return "PIF";
+    case MsgKind::NaiveBrd: return "NBRD";
+    case MsgKind::NaiveFck: return "NFCK";
+    case MsgKind::SeqBrd: return "SBRD";
+    case MsgKind::SeqFck: return "SFCK";
+    case MsgKind::App: return "APP";
+    case MsgKind::FwdData: return "FDAT";
+    case MsgKind::FwdEcho: return "FECH";
+  }
+  return "?";
+}
 
 // Routing header of the forwarding service, packed into one integer Value
 // (the f slot of a FwdData message) so a routed payload still fits the flat

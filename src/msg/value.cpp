@@ -4,22 +4,6 @@
 
 namespace snapstab {
 
-const char* token_name(Token t) noexcept {
-  switch (t) {
-    case Token::Ok: return "OK";
-    case Token::IdlQuery: return "IDL";
-    case Token::Ask: return "ASK";
-    case Token::Exit: return "EXIT";
-    case Token::ExitCs: return "EXITCS";
-    case Token::Yes: return "YES";
-    case Token::No: return "NO";
-    case Token::Reset: return "RESET";
-    case Token::Probe: return "PROBE";
-    case Token::SnapQuery: return "SNAP";
-  }
-  return "?";
-}
-
 const std::string& Value::as_text() const noexcept {
   if (!is_text()) return kEmptyText;
   StringPool& current = current_string_pool();

@@ -52,7 +52,27 @@ enum class Token : std::uint8_t {
 inline constexpr std::uint8_t kMaxTokenValue =
     static_cast<std::uint8_t>(Token::SnapQuery);
 
-const char* token_name(Token t) noexcept;
+inline constexpr int kTokenCount = static_cast<int>(kMaxTokenValue) + 1;
+
+// Exhaustive-switch constexpr name helper (see request_state_name for the
+// pattern): a new token can't silently print "?".
+constexpr const char* token_name(Token t) noexcept {
+  static_assert(kTokenCount == static_cast<int>(Token::SnapQuery) + 1,
+                "new Token: update kMaxTokenValue and every switch");
+  switch (t) {
+    case Token::Ok: return "OK";
+    case Token::IdlQuery: return "IDL";
+    case Token::Ask: return "ASK";
+    case Token::Exit: return "EXIT";
+    case Token::ExitCs: return "EXITCS";
+    case Token::Yes: return "YES";
+    case Token::No: return "NO";
+    case Token::Reset: return "RESET";
+    case Token::Probe: return "PROBE";
+    case Token::SnapQuery: return "SNAP";
+  }
+  return "?";
+}
 
 class Value {
  public:

@@ -158,4 +158,13 @@ std::vector<sim::Observation> ThreadRuntime::observations() const {
   return log_;
 }
 
+void ThreadRuntime::observe_external(int process, sim::Layer layer,
+                                     sim::ObsKind kind, int peer,
+                                     const Value& value) {
+  const std::uint64_t step =
+      event_counter_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(log_mu_);
+  log_.push_back(sim::Observation{step, process, layer, kind, peer, value});
+}
+
 }  // namespace snapstab::runtime

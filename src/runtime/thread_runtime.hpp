@@ -75,6 +75,11 @@ class ThreadRuntime {
   // Snapshot of the observation stream so far.
   std::vector<sim::Observation> observations() const;
 
+  // Appends a driver-side event to the observation stream (the svc layer
+  // records submissions here, mirroring the simulator's request events).
+  void observe_external(int process, sim::Layer layer, sim::ObsKind kind,
+                        int peer, const Value& value);
+
   const Mailbox& mailbox(int src, int dst) const;
 
   // The runtime's StringPool (the constructing thread's current pool): all

@@ -4,32 +4,6 @@
 
 namespace snapstab::sim {
 
-const char* layer_name(Layer l) noexcept {
-  switch (l) {
-    case Layer::Pif: return "PIF";
-    case Layer::Idl: return "IDL";
-    case Layer::Me: return "ME";
-    case Layer::Baseline: return "BASE";
-    case Layer::Service: return "SRV";
-  }
-  return "?";
-}
-
-const char* obs_kind_name(ObsKind k) noexcept {
-  switch (k) {
-    case ObsKind::RequestWait: return "request";
-    case ObsKind::Start: return "start";
-    case ObsKind::Decide: return "decide";
-    case ObsKind::RecvBrd: return "recv-brd";
-    case ObsKind::RecvFck: return "recv-fck";
-    case ObsKind::CsEnter: return "cs-enter";
-    case ObsKind::CsExit: return "cs-exit";
-    case ObsKind::FwdSubmit: return "fwd-submit";
-    case ObsKind::FwdDeliver: return "fwd-deliver";
-  }
-  return "?";
-}
-
 std::string Observation::to_string() const {
   char buf[192];
   std::snprintf(buf, sizeof buf, "[%8llu] p%d %s/%s peer=%d value=%s",

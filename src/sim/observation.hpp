@@ -38,8 +38,41 @@ enum class ObsKind : std::uint8_t {
   FwdDeliver,   // forwarding service delivered a payload (peer = origin)
 };
 
-const char* layer_name(Layer l) noexcept;
-const char* obs_kind_name(ObsKind k) noexcept;
+inline constexpr int kLayerCount = 5;
+inline constexpr int kObsKindCount = 9;
+
+// Exhaustive-switch constexpr name helpers: -Wswitch flags a missing
+// enumerator, the static_asserts force the counts to track the enums — a
+// new layer or event kind can't silently print "?".
+constexpr const char* layer_name(Layer l) noexcept {
+  static_assert(kLayerCount == static_cast<int>(Layer::Service) + 1,
+                "new Layer: update kLayerCount and every switch");
+  switch (l) {
+    case Layer::Pif: return "PIF";
+    case Layer::Idl: return "IDL";
+    case Layer::Me: return "ME";
+    case Layer::Baseline: return "BASE";
+    case Layer::Service: return "SRV";
+  }
+  return "?";
+}
+
+constexpr const char* obs_kind_name(ObsKind k) noexcept {
+  static_assert(kObsKindCount == static_cast<int>(ObsKind::FwdDeliver) + 1,
+                "new ObsKind: update kObsKindCount and every switch");
+  switch (k) {
+    case ObsKind::RequestWait: return "request";
+    case ObsKind::Start: return "start";
+    case ObsKind::Decide: return "decide";
+    case ObsKind::RecvBrd: return "recv-brd";
+    case ObsKind::RecvFck: return "recv-fck";
+    case ObsKind::CsEnter: return "cs-enter";
+    case ObsKind::CsExit: return "cs-exit";
+    case ObsKind::FwdSubmit: return "fwd-submit";
+    case ObsKind::FwdDeliver: return "fwd-deliver";
+  }
+  return "?";
+}
 
 struct Observation {
   std::uint64_t step = 0;  // simulator step at which the event occurred

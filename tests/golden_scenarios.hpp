@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "core/forward.hpp"
+#include "core/forward_world.hpp"
 #include "core/stack.hpp"
 #include "sim/fuzz.hpp"
 #include "sim/simulator.hpp"

@@ -17,7 +17,7 @@
 #include <tuple>
 #include <vector>
 
-#include "core/forward.hpp"
+#include "core/forward_world.hpp"
 #include "core/specs.hpp"
 #include "runtime/thread_runtime.hpp"
 #include "sim/adversary.hpp"
@@ -174,8 +174,8 @@ TEST(Forwarding, SelfAddressedSubmissionDeliversLocally) {
 TEST(Forwarding, RejectsDestinationsOutsideTheTopology) {
   auto sim = core::forward_world(Topology::line(3), 1, 4);
   auto& fwd = sim->process_as<ForwardProcess>(0).forward();
-  EXPECT_FALSE(fwd.submit(Value::integer(1), -1));
-  EXPECT_FALSE(fwd.submit(Value::integer(1), 3));
+  EXPECT_EQ(fwd.submit(Value::integer(1), -1), core::ForwardSubmit::NoRoute);
+  EXPECT_EQ(fwd.submit(Value::integer(1), 3), core::ForwardSubmit::NoRoute);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,374 @@
+// test_svc.cpp — the unified service/session API (svc::ServiceHost +
+// svc::Client): one submit/poll/complete surface over every protocol.
+//
+// Covers the session lifecycle edges: Wait/In/Done mirroring of the
+// paper's Request variable, submit-while-In queuing order, duplicate
+// submit coalescing, forwarding admission reasons and end-to-end delivery
+// acks, completion across a mid-run corruption burst (ghost-budget
+// assertion), and identical session transcripts Simulator vs
+// ThreadRuntime.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/forward_world.hpp"
+#include "core/specs.hpp"
+#include "core/stack.hpp"
+#include "sim/fuzz.hpp"
+#include "sim/simulator.hpp"
+#include "svc/client.hpp"
+
+namespace snapstab::svc {
+namespace {
+
+using core::ForwardSubmit;
+using sim::Simulator;
+using sim::Step;
+
+std::unique_ptr<Simulator> pif_host_world(int n, std::uint64_t seed) {
+  auto sim = std::make_unique<Simulator>(n, 1, seed);
+  for (int i = 0; i < n; ++i)
+    sim->add_process(std::make_unique<core::PifProcess>(n - 1, 1));
+  sim->set_scheduler(std::make_unique<sim::RandomScheduler>(seed));
+  return sim;
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle basics: Wait -> In -> Done, uniform results.
+// ---------------------------------------------------------------------------
+
+TEST(SvcSession, MirrorsThePapersRequestVariable) {
+  auto sim = pif_host_world(3, 1);
+  Client client(*sim);
+  const Value payload = Value::text("How old are you?");
+  const Session s = client.submit(0, PifBroadcast{payload});
+  EXPECT_EQ(s.key.origin, 0);
+  EXPECT_EQ(s.key.service, ServiceId::PifBroadcast);
+  // Submitted = the application set Request := Wait (A1 has not run).
+  EXPECT_EQ(client.state(s), SessionState::Wait);
+  // One activation of the host executes A1: the computation is In.
+  sim->execute(Step::tick(0));
+  EXPECT_EQ(client.state(s), SessionState::In);
+  ASSERT_TRUE(client.run_until(s));
+  EXPECT_EQ(client.state(s), SessionState::Done);
+  const SessionResult r = client.result(s);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.value, payload);
+}
+
+TEST(SvcSession, CompletionCallbackFiresOnceWithKeyAndResult) {
+  auto sim = pif_host_world(2, 2);
+  Client client(*sim);
+  int fired = 0;
+  SessionKey seen_key;
+  SessionResult seen_result;
+  const Session s = client.submit(
+      1, PifBroadcast{Value::integer(7)},
+      [&](const SessionKey& k, const SessionResult& r) {
+        ++fired;
+        seen_key = k;
+        seen_result = r;
+      });
+  ASSERT_TRUE(client.run_until(s));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(seen_key, s.key);
+  EXPECT_TRUE(seen_result.completed);
+  EXPECT_EQ(seen_result.value, Value::integer(7));
+}
+
+TEST(SvcSession, ReleaseRecyclesTheHostRecord) {
+  auto sim = pif_host_world(2, 3);
+  Client client(*sim);
+  const Session s = client.submit(0, PifBroadcast{Value::integer(1)});
+  ASSERT_TRUE(client.run_until(s));
+  auto& host = sim->process_as<ServiceHost>(0);
+  EXPECT_EQ(host.session_count(), 1);
+  client.release(s);
+  EXPECT_EQ(host.session_count(), 0);
+  // A released session reads as Done-and-forgotten.
+  EXPECT_EQ(client.state(s), SessionState::Done);
+}
+
+// ---------------------------------------------------------------------------
+// Submit-while-In queuing.
+// ---------------------------------------------------------------------------
+
+TEST(SvcSession, SubmitWhileInQueuesInSubmissionOrder) {
+  auto sim = pif_host_world(3, 5);
+  Client client(*sim);
+  const Value b1 = Value::integer(101);
+  const Value b2 = Value::integer(102);
+  const Value b3 = Value::integer(103);
+  const Session s1 = client.submit(0, PifBroadcast{b1});
+  const Session s2 = client.submit(0, PifBroadcast{b2});
+  const Session s3 = client.submit(0, PifBroadcast{b3});
+  EXPECT_EQ(client.state(s1), SessionState::Wait);
+  EXPECT_EQ(client.state(s2), SessionState::Wait);  // queued behind s1
+  sim->execute(Step::tick(0));
+  EXPECT_EQ(client.state(s1), SessionState::In);
+  EXPECT_EQ(client.state(s2), SessionState::Wait);  // still queued
+  ASSERT_TRUE(client.run_until({s1, s2, s3}));
+  // The host ran the three computations strictly in submission order:
+  // request and decision events appear b1, b2, b3.
+  std::vector<Value> requests;
+  std::vector<Value> decisions;
+  for (const auto& e : sim->log().events()) {
+    if (e.process != 0 || e.layer != sim::Layer::Pif) continue;
+    if (e.kind == sim::ObsKind::RequestWait) requests.push_back(e.value);
+    if (e.kind == sim::ObsKind::Decide) decisions.push_back(e.value);
+  }
+  EXPECT_EQ(requests, (std::vector<Value>{b1, b2, b3}));
+  EXPECT_EQ(decisions, (std::vector<Value>{b1, b2, b3}));
+}
+
+TEST(SvcSession, DuplicateSubmitCoalescesWithTheQueuedTwin) {
+  auto sim = pif_host_world(3, 6);
+  Client client(*sim);
+  const Value dup = Value::integer(55);
+  int cb2 = 0, cb3 = 0;
+  const Session s1 = client.submit(0, PifBroadcast{Value::integer(11)});
+  const Session s2 = client.submit(  // queued
+      0, PifBroadcast{dup},
+      [&cb2](const SessionKey&, const SessionResult&) { ++cb2; });
+  const Session s3 = client.submit(  // coalesces
+      0, PifBroadcast{dup},
+      [&cb3](const SessionKey&, const SessionResult&) { ++cb3; });
+  EXPECT_FALSE(s2.coalesced);
+  EXPECT_TRUE(s3.coalesced);
+  EXPECT_EQ(s3.key, s2.key);
+  ASSERT_TRUE(client.run_until({s1, s2, s3}));
+  // Both callers' completion callbacks fired, chained on the one session.
+  EXPECT_EQ(cb2, 1);
+  EXPECT_EQ(cb3, 1);
+  // The coalesced pair ran as ONE computation: one request, one decision.
+  int dup_requests = 0;
+  for (const auto& e : sim->log().events())
+    if (e.process == 0 && e.kind == sim::ObsKind::RequestWait &&
+        e.value == dup)
+      ++dup_requests;
+  EXPECT_EQ(dup_requests, 1);
+}
+
+TEST(SvcSession, CriticalSectionSessionsQueueInsteadOfRefusing) {
+  auto sim = std::make_unique<Simulator>(3, 1, 9);
+  for (int i = 0; i < 3; ++i)
+    sim->add_process(std::make_unique<core::MeStackProcess>(i + 1, 2));
+  sim->set_scheduler(std::make_unique<sim::RandomScheduler>(9));
+  Client client(*sim);
+  const Session g1 = client.submit(1, CriticalSection{});
+  const Session g2 = client.submit(1, CriticalSection{});  // queues (no false)
+  EXPECT_FALSE(g2.coalesced);  // CS grants do not coalesce: two grants wanted
+  ASSERT_TRUE(client.run_until({g1, g2}));
+  EXPECT_TRUE(client.result(g1).cs_granted);
+  EXPECT_TRUE(client.result(g2).cs_granted);
+  // ...while the legacy shim still refuses a second request mid-service.
+  const Session g3 = client.submit(1, CriticalSection{});
+  EXPECT_FALSE(core::request_cs(*sim, 1));
+  ASSERT_TRUE(client.run_until(g3));
+}
+
+// ---------------------------------------------------------------------------
+// The PIF-based services through sessions.
+// ---------------------------------------------------------------------------
+
+TEST(SvcServices, ResetElectionSnapshotTermdetectUniformSurface) {
+  const int n = 4;
+  std::vector<int> hooks(static_cast<std::size_t>(n), 0);
+  auto sim = service_world(
+      sim::Topology::complete(n), 1, 21, [&](sim::ProcessId p) {
+        HostConfig cfg;
+        cfg.id = 100 - p;  // process n-1 holds the smallest id
+        cfg.with_reset = true;
+        cfg.with_election = true;
+        cfg.with_snapshot = true;
+        cfg.on_reset = [&hooks, p](sim::Context&) {
+          ++hooks[static_cast<std::size_t>(p)];
+        };
+        cfg.local_state = [p] { return Value::integer(1000 + p); };
+        return cfg;
+      });
+  sim->set_scheduler(std::make_unique<sim::RandomScheduler>(22));
+  Client client(*sim);
+
+  std::vector<Session> sessions;
+  sessions.push_back(client.submit(0, Reset{}));
+  for (int p = 0; p < n; ++p)
+    sessions.push_back(client.submit(p, Election{}));
+  sessions.push_back(client.submit(2, Snapshot{}));
+  ASSERT_TRUE(client.run_until(sessions));
+
+  for (int p = 0; p < n; ++p)
+    EXPECT_GE(hooks[static_cast<std::size_t>(p)], 1) << "p" << p;
+  std::set<int> ranks;
+  for (int p = 0; p < n; ++p) {
+    const SessionResult r = client.result(sessions[1 + static_cast<std::size_t>(p)]);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.min_id, 100 - (n - 1));
+    ranks.insert(r.rank);
+  }
+  EXPECT_EQ(static_cast<int>(ranks.size()), n);
+  const SessionResult snap = client.result(sessions.back());
+  EXPECT_TRUE(snap.completed);
+  EXPECT_TRUE(snap.value.is_int());  // the digest
+  EXPECT_NE(snap.value, Value::none());
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding sessions: admission reasons, delivery acks.
+// ---------------------------------------------------------------------------
+
+TEST(SvcForward, AdmissionReasonsSurfaceThroughResult) {
+  auto sim = core::forward_world(sim::Topology::line(3), 1, 31,
+                                 core::Forward::Options{.hop_buffer = 1});
+  sim->set_scheduler(std::make_unique<sim::RandomScheduler>(31));
+  Client client(*sim);
+
+  const Session ok = client.submit(0, ForwardMsg{2, Value::integer(2'000'000)});
+  EXPECT_EQ(ok.admission, ForwardSubmit::Accepted);
+  EXPECT_TRUE(ok.accepted());
+
+  const Session full =
+      client.submit(0, ForwardMsg{2, Value::integer(2'000'001)});
+  EXPECT_EQ(full.admission, ForwardSubmit::BufferFull);
+  EXPECT_EQ(client.state(full), SessionState::Done);  // born Done (refused)
+  EXPECT_FALSE(client.result(full).completed);
+  EXPECT_EQ(client.result(full).admission, ForwardSubmit::BufferFull);
+
+  const Session no_route =
+      client.submit(0, ForwardMsg{7, Value::integer(2'000'002)});
+  EXPECT_EQ(no_route.admission, ForwardSubmit::NoRoute);
+
+  const Session self_ok =
+      client.submit(1, ForwardMsg{1, Value::integer(2'000'003)});
+  EXPECT_EQ(self_ok.admission, ForwardSubmit::Accepted);
+  const Session self_full =
+      client.submit(1, ForwardMsg{1, Value::integer(2'000'004)});
+  EXPECT_EQ(self_full.admission, ForwardSubmit::SelfDestination);
+
+  ASSERT_TRUE(client.run_until({ok, self_ok}));
+  EXPECT_EQ(client.result(ok).value, Value::integer(2'000'000));
+  EXPECT_EQ(client.result(self_ok).value, Value::integer(2'000'003));
+  EXPECT_TRUE(core::check_forward_spec(*sim).ok());
+}
+
+TEST(SvcForward, SessionCompletesAcrossAMidRunCorruptionBurst) {
+  auto sim = core::forward_world(sim::Topology::ring(5), 1, 41);
+  sim->set_scheduler(std::make_unique<sim::RandomScheduler>(
+      41, sim::LossOptions{.rate = 0.1, .max_consecutive = 4}));
+  Client client(*sim);
+
+  // Phase 1: clean service.
+  const Session a = client.submit(0, ForwardMsg{2, Value::integer(3'000'000)});
+  const Session b = client.submit(3, ForwardMsg{1, Value::integer(3'000'001)});
+  ASSERT_TRUE(client.run_until({a, b}));
+
+  // Mid-run corruption burst: scramble every hop handshake and queue, stuff
+  // forged forwarding traffic into the channels.
+  Rng chaos(411);
+  sim::FuzzOptions burst;
+  burst.flag_limit = 4;
+  burst.forward_header_n = 5;
+  sim::fuzz(*sim, chaos, burst);
+  const std::uint64_t ghost_budget = core::forward_ghost_budget(*sim);
+
+  // Phase 2: sessions submitted after the burst still complete...
+  const Session c = client.submit(1, ForwardMsg{4, Value::integer(3'000'002)});
+  const Session d = client.submit(2, ForwardMsg{0, Value::integer(3'000'003)});
+  ASSERT_TRUE(client.run_until({c, d}));
+  EXPECT_EQ(client.result(c).value, Value::integer(3'000'002));
+  EXPECT_EQ(client.result(d).value, Value::integer(3'000'003));
+
+  // ...and the burst's garbage surfaces as at most ghost_budget deliveries
+  // (each corrupted entry at most once — the snap-stabilization bound).
+  const auto report = core::check_forward_spec(
+      *sim, {.require_all_delivered = true,
+             .max_ghost_deliveries = ghost_budget});
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Backend equivalence: the same client program on Simulator and
+// ThreadRuntime yields the same session transcript.
+// ---------------------------------------------------------------------------
+
+struct Transcript {
+  std::vector<SessionKey> keys;
+  std::vector<bool> done;
+  std::vector<Value> values;
+
+  bool operator==(const Transcript&) const = default;
+};
+
+// The one client program, written once against Client's backend-neutral
+// surface (the acceptance shape of the svc API).
+template <typename Backend>
+Transcript run_program(Backend& backend) {
+  Client client(backend);
+  std::vector<Session> sessions;
+  sessions.push_back(client.submit(0, PifBroadcast{Value::text("alpha")}));
+  sessions.push_back(client.submit(1, PifBroadcast{Value::text("beta")}));
+  sessions.push_back(client.submit(0, PifBroadcast{Value::text("gamma")}));
+  EXPECT_TRUE(client.run_until(sessions));
+  Transcript t;
+  for (const Session& s : sessions) {
+    t.keys.push_back(s.key);
+    t.done.push_back(client.done(s));
+    t.values.push_back(client.result(s).value);
+  }
+  return t;
+}
+
+TEST(SvcBackends, IdenticalSessionTranscriptSimulatorVsThreadRuntime) {
+  const int n = 3;
+  auto sim = pif_host_world(n, 51);
+  const Transcript sim_transcript = run_program(*sim);
+
+  runtime::ThreadRuntime rt(n, {.seed = 51});
+  for (int i = 0; i < n; ++i)
+    rt.add_process(std::make_unique<core::PifProcess>(n - 1, 1));
+  const Transcript rt_transcript = run_program(rt);
+
+  EXPECT_EQ(sim_transcript, rt_transcript);
+  // Both backends recorded the submissions in their observation streams.
+  int rt_requests = 0;
+  for (const auto& e : rt.observations())
+    if (e.kind == sim::ObsKind::RequestWait) ++rt_requests;
+  EXPECT_EQ(rt_requests, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Sessions add no RNG draws: a session-driven world replays the exact
+// engine step sequence of a shim-driven one.
+// ---------------------------------------------------------------------------
+
+TEST(SvcDeterminism, SessionDriveMatchesShimDriveBitIdentically) {
+  const auto run_shim = [] {
+    auto sim = pif_host_world(4, 77);
+    core::request_pif(*sim, 0, Value::integer(7));
+    sim->run(100'000, [](Simulator& s) {
+      return s.process_as<core::PifProcess>(0).pif().done();
+    });
+    return sim;
+  };
+  const auto run_session = [] {
+    auto sim = pif_host_world(4, 77);
+    Client client(*sim);
+    const Session s = client.submit(0, PifBroadcast{Value::integer(7)});
+    EXPECT_TRUE(client.run_until(s));
+    return sim;
+  };
+  auto a = run_shim();
+  auto b = run_session();
+  EXPECT_EQ(a->metrics().steps, b->metrics().steps);
+  EXPECT_EQ(a->metrics().sends, b->metrics().sends);
+  EXPECT_EQ(a->metrics().deliveries, b->metrics().deliveries);
+  ASSERT_EQ(a->log().size(), b->log().size());
+  for (std::size_t i = 0; i < a->log().size(); ++i)
+    EXPECT_EQ(a->log().events()[i].to_string(), b->log().events()[i].to_string())
+        << "event " << i;
+}
+
+}  // namespace
+}  // namespace snapstab::svc
