@@ -55,10 +55,23 @@ class BenchJson {
   void set(const std::string& key, const char* v) {
     set(key, std::string(v));
   }
+  // Pre-rendered JSON (an object or array the caller built, e.g. a
+  // LoadReport's deterministic block) embedded verbatim under `key`.
+  void set_raw(const std::string& key, std::string json) {
+    entries_.emplace_back(key, std::move(json));
+  }
 
-  // Writes {"experiment": ..., "results": {...}} to the --json path, if one
-  // was given. Returns false (and complains) when the file cannot be
-  // written.
+  // Experiment-specific provenance for the meta block (e.g. the swept
+  // topology); compiler/SHA/build type are filled in automatically.
+  void set_meta(const std::string& key, const std::string& v) {
+    meta_.emplace_back(key, "\"" + escaped(v) + "\"");
+  }
+
+  // Writes {"experiment": ..., "meta": {...}, "results": {...}} to the
+  // --json path, if one was given. Returns false (and complains) when the
+  // file cannot be written. The meta block makes every BENCH_*.json entry
+  // traceable: git SHA and build type (stamped by CMake), the compiler,
+  // plus whatever the experiment added via set_meta.
   bool write_if_requested(const CliArgs& args) const {
     if (!args.has("json")) return true;
     const std::string path = args.get("json", "");
@@ -67,8 +80,17 @@ class BenchJson {
       std::fprintf(stderr, "cannot write --json file %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"experiment\": \"%s\",\n  \"results\": {",
+    std::fprintf(f, "{\n  \"experiment\": \"%s\",\n  \"meta\": {",
                  escaped(experiment_).c_str());
+    std::vector<std::pair<std::string, std::string>> meta;
+    meta.emplace_back("git_sha", "\"" + escaped(kGitSha) + "\"");
+    meta.emplace_back("build_type", "\"" + escaped(kBuildType) + "\"");
+    meta.emplace_back("compiler", "\"" + escaped(kCompiler) + "\"");
+    meta.insert(meta.end(), meta_.begin(), meta_.end());
+    for (std::size_t i = 0; i < meta.size(); ++i)
+      std::fprintf(f, "%s\n    \"%s\": %s", i == 0 ? "" : ",",
+                   escaped(meta[i].first).c_str(), meta[i].second.c_str());
+    std::fprintf(f, "\n  },\n  \"results\": {");
     for (std::size_t i = 0; i < entries_.size(); ++i)
       std::fprintf(f, "%s\n    \"%s\": %s", i == 0 ? "" : ",",
                    escaped(entries_[i].first).c_str(),
@@ -78,6 +100,24 @@ class BenchJson {
     std::printf("json results written to %s\n", path.c_str());
     return true;
   }
+
+  // Build provenance, stamped on the bench targets by CMake (compile
+  // definitions); "unknown" outside that build system.
+#ifdef SNAPSTAB_GIT_SHA
+  static constexpr const char* kGitSha = SNAPSTAB_GIT_SHA;
+#else
+  static constexpr const char* kGitSha = "unknown";
+#endif
+#ifdef SNAPSTAB_BUILD_TYPE
+  static constexpr const char* kBuildType = SNAPSTAB_BUILD_TYPE;
+#else
+  static constexpr const char* kBuildType = "unknown";
+#endif
+#ifdef __VERSION__
+  static constexpr const char* kCompiler = "gcc/clang " __VERSION__;
+#else
+  static constexpr const char* kCompiler = "unknown";
+#endif
 
  private:
   static std::string escaped(const std::string& s) {
@@ -106,6 +146,7 @@ class BenchJson {
 
   std::string experiment_;
   std::vector<std::pair<std::string, std::string>> entries_;  // key -> json
+  std::vector<std::pair<std::string, std::string>> meta_;     // key -> json
 };
 
 inline void banner(const char* experiment, const char* anchor,

@@ -11,6 +11,7 @@
 #include "sim/fuzz.hpp"
 #include "sim/simulator.hpp"
 #include "svc/client.hpp"
+#include "svc/host.hpp"
 
 namespace snapstab {
 namespace {
@@ -265,6 +266,45 @@ void BM_SessionSubmitPoll(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(steps));
 }
 BENCHMARK(BM_SessionSubmitPoll)->Arg(16);
+
+// Session recycling steady state (the BENCH_load.json pair): the same
+// submit -> run_until -> release PIF cycle as BM_SessionSubmitPoll, but
+// after Arg(0) vs Arg(~10^6) sessions have already been churned through the
+// host. The slot arena recycles released sessions through a free list, so
+// the per-step cost must be flat in the churn count — a regression here
+// means session storage started scaling O(total) instead of O(live).
+void BM_SessionRecycleSteadyState(benchmark::State& state) {
+  const int n = 4;
+  auto world_ptr = svc::service_world(
+      sim::Topology::complete(n), 1, 42,
+      [](sim::ProcessId p) {
+        svc::HostConfig cfg;
+        cfg.id = p + 1;
+        return cfg;
+      },
+      /*with_forward=*/true);
+  sim::Simulator& world = *world_ptr;
+  world.set_scheduler(std::make_unique<sim::RandomScheduler>(42));
+  svc::Client client(world);
+  // Pre-churn: a ForwardMsg to a nonexistent destination is refused at
+  // submit (born Done, zero engine steps), so each iteration still
+  // allocates and releases one real session record.
+  for (std::int64_t i = 0; i < state.range(0); ++i)
+    client.release(client.submit(0, svc::ForwardMsg{.dst = 99'999,
+                                                    .payload = Value::none()}));
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = world.step_count();
+    const svc::Session s =
+        client.submit(0, svc::PifBroadcast{Value::integer(7)});
+    client.run_until(s);
+    client.release(s);
+    steps += world.step_count() - before;
+    if (world.log().size() >= (1u << 20)) world.log().clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_SessionRecycleSteadyState)->Arg(0)->Arg(1'000'000);
 
 void BM_SimulatorStep(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -17,16 +17,22 @@
 //   - fn must return plain data (numbers, strings, structs of those).
 //     Returning a Value or an Observation would dangle: it carries a StrId
 //     into the worker's pool, which dies with the pool.
+//
+// The fan primitive itself was promoted into the library as
+// load::parallel_shards (src/load/shard.hpp), where the sharded load
+// generator reuses it for coordinated workloads; run_trials is now a thin
+// delegation, so the independent-trial harness and the sharded runner are
+// one code path (tests/test_trial_runner.cpp and tests/test_load.cpp pin
+// both behaviors).
 #ifndef SNAPSTAB_BENCH_TRIAL_RUNNER_HPP
 #define SNAPSTAB_BENCH_TRIAL_RUNNER_HPP
 
-#include <atomic>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "common/cli.hpp"
-#include "msg/strpool.hpp"
+#include "load/shard.hpp"
 
 namespace snapstab::bench {
 
@@ -45,41 +51,7 @@ inline int trial_thread_count(const CliArgs& args, int trials) {
 template <typename Fn>
 auto run_trials(int trials, int threads, Fn&& fn)
     -> std::vector<std::invoke_result_t<Fn&, int>> {
-  using Result = std::invoke_result_t<Fn&, int>;
-  static_assert(std::is_default_constructible_v<Result>);
-  // vector<bool> packs results into shared words — concurrent writes to
-  // results[t] from different workers would race. Return a struct instead.
-  static_assert(!std::is_same_v<Result, bool>,
-                "trial results must not be bool (vector<bool> slots share "
-                "words across workers); wrap the flag in a struct");
-  std::vector<Result> results(static_cast<std::size_t>(trials > 0 ? trials
-                                                                  : 0));
-  if (trials <= 0) return results;
-  if (threads > trials) threads = trials;  // callers may pass a raw --threads
-
-  // Work claiming is a single shared counter, not a static partition: every
-  // trial index in [0, trials) is claimed exactly once whatever the
-  // trials-to-threads ratio (7 trials on 3 threads leaves no tail slice
-  // skipped or double-run), and each result lands in its own trial-indexed
-  // slot. Determinism then rests solely on fn deriving its randomness from
-  // the trial index.
-  std::atomic<int> next{0};
-  const auto worker = [&]() {
-    StringPool pool;  // one Simulator + one pool per worker thread
-    ScopedStringPool scope(pool);
-    for (int t = next.fetch_add(1); t < trials; t = next.fetch_add(1))
-      results[static_cast<std::size_t>(t)] = fn(t);
-  };
-
-  if (threads <= 1) {
-    worker();
-    return results;
-  }
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(threads));
-  for (int i = 0; i < threads; ++i) workers.emplace_back(worker);
-  for (auto& w : workers) w.join();
-  return results;
+  return load::parallel_shards(trials, threads, std::forward<Fn>(fn));
 }
 
 }  // namespace snapstab::bench

@@ -1,0 +1,142 @@
+// histogram.hpp — fixed-bucket log-scale latency histogram (HDR-style).
+//
+// The load generator records one latency sample per completed session; a
+// workload sweep completes millions, across shards, and the aggregate JSON
+// must be bit-identical for any worker count. Both constraints rule out the
+// sample-keeping Summary (common/stats.hpp): this histogram is a flat POD of
+// fixed-width counters, so recording is O(1) with no allocation, merging two
+// shards is element-wise addition (associative and commutative — any merge
+// tree produces identical bits), and the whole state can be hashed for the
+// determinism pin.
+//
+// Bucketing: values below kSubBuckets (32) get one bucket each (exact);
+// above that, each octave [32·2^(o-1), 32·2^o) splits into 32 buckets of
+// width 2^(o-1), so the relative quantization error is bounded by 1/32
+// everywhere. percentile() is nearest-rank over bucket counts and returns
+// the bucket's inclusive upper bound clamped to the recorded maximum —
+// always >= the exact sorted-vector answer and within 1/32 above it
+// (tests/test_load.cpp pins both bounds against an oracle).
+#ifndef SNAPSTAB_LOAD_HISTOGRAM_HPP
+#define SNAPSTAB_LOAD_HISTOGRAM_HPP
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace snapstab::load {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBits;  // 32
+  // Octave 0 covers [0, 32); octaves 1..59 cover [32·2^(o-1), 32·2^o),
+  // which reaches past 2^63 — any uint64 latency has a bucket.
+  static constexpr int kOctaves = 60;
+  static constexpr int kBuckets = kOctaves * kSubBuckets;
+
+  void record(std::uint64_t v) noexcept { record_n(v, 1); }
+
+  void record_n(std::uint64_t v, std::uint64_t n) noexcept {
+    if (n == 0) return;
+    counts_[static_cast<std::size_t>(index_of(v))] += n;
+    count_ += n;
+    sum_ += v * n;
+    if (count_ == n || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  // Nearest-rank percentile (pct in [0, 100]): the value at rank
+  // ceil(pct/100 · count) of the sorted sample multiset, reported as its
+  // bucket's inclusive upper bound, clamped to the recorded maximum.
+  std::uint64_t percentile(double pct) const noexcept {
+    if (count_ == 0) return 0;
+    if (pct <= 0.0) return min();
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(pct / 100.0 * static_cast<double>(count_));
+    if (static_cast<double>(rank) * 100.0 <
+        pct * static_cast<double>(count_))
+      ++rank;  // ceil
+    if (rank < 1) rank = 1;
+    if (rank > count_) rank = count_;
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += counts_[static_cast<std::size_t>(b)];
+      if (seen >= rank) {
+        const std::uint64_t hi = bucket_high(b);
+        return hi < max_ ? hi : max_;
+      }
+    }
+    return max_;
+  }
+
+  // Element-wise addition: associative, commutative, allocation-free.
+  void merge(const LatencyHistogram& o) noexcept {
+    if (o.count_ == 0) return;
+    if (count_ == 0 || o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+    count_ += o.count_;
+    sum_ += o.sum_;
+    for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += o.counts_[b];
+  }
+
+  bool operator==(const LatencyHistogram&) const = default;
+
+  // FNV-1a over the full counter state — the determinism pin's digest.
+  std::uint64_t digest() const noexcept {
+    std::uint64_t h = 14695981039346656037ull;
+    const auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFF;
+        h *= 1099511628211ull;
+      }
+    };
+    mix(count_);
+    mix(sum_);
+    mix(min());
+    mix(max_);
+    for (const std::uint64_t c : counts_) mix(c);
+    return h;
+  }
+
+  // --- bucket geometry (exposed for the oracle tests) ---
+  static int index_of(std::uint64_t v) noexcept {
+    if (v < kSubBuckets) return static_cast<int>(v);
+    const int msb = 63 - std::countl_zero(v);   // >= kSubBits
+    const int octave = msb - kSubBits + 1;      // >= 1
+    const auto sub = static_cast<int>((v >> (octave - 1)) - kSubBuckets);
+    return octave * kSubBuckets + sub;
+  }
+  static std::uint64_t bucket_high(int index) noexcept {
+    const int octave = index >> kSubBits;
+    const int sub = index & (kSubBuckets - 1);
+    if (octave == 0) return static_cast<std::uint64_t>(sub);
+    const std::uint64_t low = static_cast<std::uint64_t>(kSubBuckets + sub)
+                              << (octave - 1);
+    return low + ((std::uint64_t{1} << (octave - 1)) - 1);
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+// The shard runner moves histograms between worker threads and folds them
+// into the aggregate by plain assignment — keep them trivially copyable.
+static_assert(std::is_trivially_copyable_v<LatencyHistogram>);
+
+}  // namespace snapstab::load
+
+#endif  // SNAPSTAB_LOAD_HISTOGRAM_HPP

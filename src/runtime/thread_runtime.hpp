@@ -62,6 +62,10 @@ class ThreadRuntime {
   // One-shot: a ThreadRuntime instance runs once.
   bool run(const std::function<bool()>& done,
            std::chrono::milliseconds timeout);
+  // Whether run() has already been called (it is one-shot). Callers that
+  // may retry after a timeout — Client::run_until — check this instead of
+  // tripping the one-shot assertion.
+  bool started() const noexcept { return started_; }
 
   // Executes `f` on process `p` (cast to T) under its node lock. Safe to
   // call from the done-predicate and after run() returns.

@@ -145,6 +145,11 @@ bool Client::run_until(const std::vector<Session>& sessions,
     return poll();
   }
   SNAPSTAB_CHECK(rt_ != nullptr);
+  // ThreadRuntime::run is one-shot. A second await — typically a retry after
+  // a timeout returned false — must not trip that assertion: the runtime's
+  // threads are already live (or already joined), so one poll answers the
+  // question without spinning.
+  if (rt_->started()) return poll_all(sessions);
   return rt_->run([this, &sessions] { return poll_all(sessions); },
                   opts.timeout);
 }

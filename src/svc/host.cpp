@@ -79,14 +79,61 @@ ServiceHost::ServiceHost(HostConfig config) : cfg_(std::move(config)) {
 ServiceHost::~ServiceHost() = default;
 
 ServiceHost::SessionRec* ServiceHost::find(std::uint32_t seq) {
-  auto it = std::lower_bound(
-      sessions_.begin(), sessions_.end(), seq,
-      [](const SessionRec& r, std::uint32_t s) { return r.seq < s; });
-  return it != sessions_.end() && it->seq == seq ? &*it : nullptr;
+  if (seq == cache_seq_ && slots_[cache_slot_].seq == seq)
+    return &slots_[cache_slot_];
+  const auto it = by_seq_.find(seq);
+  if (it == by_seq_.end()) return nullptr;
+  cache_seq_ = seq;
+  cache_slot_ = it->second;
+  return &slots_[it->second];
 }
 
 const ServiceHost::SessionRec* ServiceHost::find(std::uint32_t seq) const {
   return const_cast<ServiceHost*>(this)->find(seq);
+}
+
+std::uint64_t ServiceHost::desc_hash(const Descriptor& d) {
+  // FNV-1a over exactly what Descriptor::operator== compares. Text payloads
+  // mix the resolved string, not the (StrId, pool-tag) pair: two descriptors
+  // holding the same text interned into different pools compare equal, so
+  // they must hash equal too.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(d.service));
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(d.dst)));
+  const Value& v = d.payload;
+  if (v.is_int()) {
+    mix(1);
+    mix(static_cast<std::uint64_t>(v.as_int()));
+  } else if (v.is_token()) {
+    mix(2);
+    mix(static_cast<std::uint64_t>(v.as_token()));
+  } else if (v.is_text()) {
+    mix(3);
+    h = fnv1a(h, v.as_text());
+  } else {
+    mix(0);
+  }
+  return h;
+}
+
+std::uint32_t ServiceHost::alloc_slot(SessionRec&& rec) {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    slots_[slot] = std::move(rec);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(rec));
+  }
+  by_seq_.emplace(slots_[slot].seq, slot);
+  return slot;
 }
 
 core::RequestState ServiceHost::layer_state(ServiceId s) const {
@@ -236,6 +283,16 @@ void ServiceHost::poll_sessions(sim::Context& ctx) {
     if (layer_state(rec->desc.service) != core::RequestState::Done) break;
     pending_.pop_front();
     --pending_n_;
+    // The session leaves the Queued phase: drop its coalescing-index entry
+    // so a later identical submit queues fresh instead of joining an
+    // already-running computation.
+    const auto range = queued_by_desc_.equal_range(desc_hash(rec->desc));
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == seq) {
+        queued_by_desc_.erase(it);
+        break;
+      }
+    }
     start(*rec, [&ctx](sim::Layer l, sim::ObsKind k, int peer,
                        const Value& v) { ctx.observe(l, k, peer, v); });
     stack_active_ = rec->seq;
@@ -268,44 +325,50 @@ ServiceHost::Submitted ServiceHost::submit(sim::ProcessId origin,
     if (admission == core::ForwardSubmit::Accepted) {
       rec.phase = SessionRec::Phase::Active;
       emit(sim::Layer::Service, sim::ObsKind::FwdSubmit, d.dst, d.payload);
-      sessions_.push_back(std::move(rec));
+      alloc_slot(std::move(rec));
     } else {
-      // Born Done with the refusal reason; completed stays false.
+      // Born Done with the refusal reason; completed stays false. The
+      // callback fires on locals, never on the stored record: it may
+      // reentrantly submit (reallocating the slot arena) or release.
       rec.phase = SessionRec::Phase::Done;
-      sessions_.push_back(std::move(rec));
-      SessionRec& stored = sessions_.back();
-      if (stored.on_complete) {
-        auto cb = std::move(stored.on_complete);
-        stored.on_complete = nullptr;
-        cb(out.key, stored.result);
-      }
+      CompletionFn cb = std::move(rec.on_complete);
+      rec.on_complete = nullptr;
+      const SessionResult result = rec.result;
+      alloc_slot(std::move(rec));
+      if (cb) cb(out.key, result);
     }
     return out;
   }
 
   // Duplicate-submit coalescing: an identical descriptor already queued is
   // the same pending request — return its key instead of queuing twice. The
-  // new caller's callback still fires: it is chained onto the twin's.
-  for (const std::uint32_t seq : pending_) {
-    SessionRec* queued = find(seq);
-    if (queued != nullptr && queued->desc == d) {
-      out.key.seq = seq;
-      out.coalesced = true;
-      if (on_complete) {
-        if (queued->on_complete) {
-          queued->on_complete =
-              [first = std::move(queued->on_complete),
-               second = std::move(on_complete)](const SessionKey& k,
-                                                const SessionResult& r) {
-                first(k, r);
-                second(k, r);
-              };
-        } else {
-          queued->on_complete = std::move(on_complete);
-        }
+  // new caller's callback still fires: it is chained onto the twin's. The
+  // lookup is by descriptor hash (coalescing keeps at most one queued
+  // session per distinct descriptor, so any surviving match is THE twin);
+  // the historic scan over pending_ made queueing C sessions O(C^2).
+  const std::uint64_t dh = desc_hash(d);
+  const auto range = queued_by_desc_.equal_range(dh);
+  for (auto it = range.first; it != range.second; ++it) {
+    SessionRec* queued = find(it->second);
+    if (queued == nullptr || queued->phase != SessionRec::Phase::Queued)
+      continue;  // stale entry (hash collision with a since-started session)
+    if (queued->desc != d) continue;  // hash collision, different descriptor
+    out.key.seq = queued->seq;
+    out.coalesced = true;
+    if (on_complete) {
+      if (queued->on_complete) {
+        queued->on_complete =
+            [first = std::move(queued->on_complete),
+             second = std::move(on_complete)](const SessionKey& k,
+                                              const SessionResult& r) {
+              first(k, r);
+              second(k, r);
+            };
+      } else {
+        queued->on_complete = std::move(on_complete);
       }
-      return out;
     }
+    return out;
   }
 
   SessionRec rec;
@@ -315,13 +378,14 @@ ServiceHost::Submitted ServiceHost::submit(sim::ProcessId origin,
   const std::uint32_t seq = rec.seq;
   const bool start_now = stack_active_ < 0 && pending_n_ == 0 &&
                          layer_state(d.service) == core::RequestState::Done;
-  sessions_.push_back(std::move(rec));
+  const std::uint32_t slot = alloc_slot(std::move(rec));
   if (start_now) {
-    start(sessions_.back(), emit);
+    start(slots_[slot], emit);
     stack_active_ = seq;
   } else {
     pending_.push_back(seq);
     ++pending_n_;
+    queued_by_desc_.emplace(dh, seq);
   }
   return out;
 }
@@ -349,9 +413,25 @@ SessionResult ServiceHost::session_result(std::uint32_t seq) const {
 }
 
 void ServiceHost::release_session(std::uint32_t seq) {
-  SessionRec* rec = find(seq);
-  if (rec == nullptr || rec->phase != SessionRec::Phase::Done) return;
-  sessions_.erase(sessions_.begin() + (rec - sessions_.data()));
+  const auto it = by_seq_.find(seq);
+  if (it == by_seq_.end()) return;
+  const std::uint32_t slot = it->second;
+  if (slots_[slot].phase != SessionRec::Phase::Done) return;
+  // Reset the record (dropping payload Values and any completion closure)
+  // and push the slot onto the free list — LIFO, so a submit/release
+  // recycling loop keeps touching the same hot slots.
+  slots_[slot] = SessionRec{};
+  by_seq_.erase(it);
+  free_.push_back(slot);
+  // The freed record's seq resets to 0 — a real session id — so a stale
+  // cache entry for it must not survive the release.
+  if (cache_seq_ == seq) cache_seq_ = kNoSession;
+}
+
+void ServiceHost::take_deliveries(std::vector<Delivery>& out) {
+  out.insert(out.end(), std::make_move_iterator(deliveries_.begin()),
+             std::make_move_iterator(deliveries_.end()));
+  deliveries_.clear();
 }
 
 bool ServiceHost::consume_delivery(sim::ProcessId origin,

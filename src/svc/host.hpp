@@ -31,6 +31,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
@@ -111,7 +112,12 @@ class ServiceHost : public sim::Process {
   // Valid once session_state(seq) == Done (refused forward submissions are
   // born Done); default-constructed result for unknown seqs.
   SessionResult session_result(std::uint32_t seq) const;
-  // Drops a completed session's record (bulk drivers recycle sessions).
+  // Drops a completed session's record and returns its storage slot to the
+  // host's free list: a recycling workload (submit -> complete -> release,
+  // repeated) runs at O(live sessions) memory and O(1) steady-state cost
+  // per operation however many sessions have passed through — the
+  // million-session load generator's contract (micro_bench
+  // BM_SessionRecycleSteadyState pins the flatness).
   void release_session(std::uint32_t seq);
 
   // ForwardMsg completion is end-to-end and therefore cross-host: the
@@ -119,15 +125,26 @@ class ServiceHost : public sim::Process {
   // the client matches it back to the origin's session, removing the
   // matched record so one delivery completes at most one session (and the
   // record store stays bounded).
+  struct Delivery {
+    sim::ProcessId origin = -1;
+    std::uint32_t wire_seq = 0;
+    Value payload;
+  };
   bool consume_delivery(sim::ProcessId origin, std::uint32_t wire_seq,
                         const Value& payload);
+  // Bulk alternative to per-session consume_delivery: appends every pending
+  // delivery record to `out` and clears the store. The load generator
+  // drains each destination once per poll cadence and matches the batch
+  // against its own (origin, wire_seq) table — O(deliveries) per drain
+  // instead of O(live forward sessions x deliveries) per poll.
+  void take_deliveries(std::vector<Delivery>& out);
   void finish_forward(std::uint32_t seq);  // origin side: mark Done, fire cb
   // Flipped by the Client, world-wide, at the first ForwardMsg submission;
   // until then the delivery hook records nothing, so worlds driven through
   // the legacy request_forward shim allocate nothing per delivery.
   void enable_delivery_recording() noexcept { record_deliveries_ = true; }
 
-  int session_count() const noexcept { return static_cast<int>(sessions_.size()); }
+  int session_count() const noexcept { return static_cast<int>(by_seq_.size()); }
   int pending_count() const noexcept { return pending_n_; }
 
   // --- layer accessors (the historic wrapper surface) --------------------
@@ -168,11 +185,6 @@ class ServiceHost : public sim::Process {
     CompletionFn on_complete;
     std::uint32_t wire_seq = 0;  // ForwardMsg
   };
-  struct Delivery {
-    sim::ProcessId origin = -1;
-    std::uint32_t wire_seq = 0;
-    Value payload;
-  };
 
   template <typename T>
   static T& checked(const std::unique_ptr<T>& p) {
@@ -183,6 +195,12 @@ class ServiceHost : public sim::Process {
 
   SessionRec* find(std::uint32_t seq);
   const SessionRec* find(std::uint32_t seq) const;
+  // Hash of the fields Descriptor::operator== compares; text payloads hash
+  // by resolved string so cross-pool-equal descriptors collide as required.
+  static std::uint64_t desc_hash(const Descriptor& d);
+  // Moves `rec` into a free slot (reusing a released one when available)
+  // and indexes it by seq; returns the slot index.
+  std::uint32_t alloc_slot(SessionRec&& rec);
   core::RequestState layer_state(ServiceId s) const;
   bool service_available(ServiceId s) const;
   // Sets the layer's Request := Wait and emits the RequestWait observation
@@ -209,7 +227,28 @@ class ServiceHost : public sim::Process {
 
   sim::ProcessId origin_ = -1;     // learned at first submit
   std::uint32_t next_session_ = 0;
-  std::vector<SessionRec> sessions_;      // sorted by seq (append-only ids)
+  // Session storage is a slot arena: records live in `slots_`, freed slots
+  // are recycled through `free_` (LIFO, so a recycling workload stays in a
+  // hot cache footprint), and `by_seq_` maps a session's public seq to its
+  // current slot in O(1). The unordered containers are lookup-only — never
+  // iterated — so they cannot perturb execution order (determinism holds
+  // for any hash-bucket layout).
+  std::vector<SessionRec> slots_;
+  std::vector<std::uint32_t> free_;             // free slot indices, LIFO
+  std::unordered_map<std::uint32_t, std::uint32_t> by_seq_;  // seq -> slot
+  // One-entry find() cache: an awaiting client polls the same seq once per
+  // stop-predicate check, which must not pay a hash lookup per engine step.
+  // Validated against slots_[cache_slot_].seq and invalidated on release
+  // (a freed slot resets to seq 0, which is a real session id).
+  mutable std::uint32_t cache_seq_ = kNoSession;
+  mutable std::uint32_t cache_slot_ = 0;
+  static constexpr std::uint32_t kNoSession = 0xFFFFFFFFu;
+  // Queued sessions by descriptor hash, for O(1) coalescing lookup (the
+  // historic linear scan over pending_ was O(C^2) when queueing 10^5+
+  // sessions). At most one queued session exists per distinct descriptor
+  // (that is what coalescing guarantees), so equal_range order never
+  // matters — hash collisions are resolved by a full Descriptor compare.
+  std::unordered_multimap<std::uint64_t, std::uint32_t> queued_by_desc_;
   std::deque<std::uint32_t> pending_;     // queued PIF-based sessions, FIFO
   std::int64_t stack_active_ = -1;        // seq of the In PIF-based session
   int pending_n_ = 0;
