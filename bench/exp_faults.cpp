@@ -1,0 +1,306 @@
+// exp_faults — Experiment E15: recovery under the fault engine (src/fault/)
+// driving the sharded load generator.
+//
+// The paper's claim is snap-stabilization: requests issued after the
+// transient fault CEASES are served correctly, whatever the fault did to
+// process state and channel contents while it lasted. This experiment lands
+// that fault mid-flight — each shard compiles a seeded FaultPlan (process
+// crash-restarts, channel garbage refills, per-edge loss/duplication, link
+// partitions) and polls its Injector from the driver pump — and measures
+// the recovery story the theorem promises: every cell must reach the
+// recovered state (a session submitted at/after the last window's close
+// completes correctly), with recovery-latency percentiles and goodput
+// during vs after the fault span across an intensity ladder x topology x
+// service mix. The faulted runs keep the sharded-merge determinism pin:
+// identical (spec, fault plan) aggregate JSON for any --threads.
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp_common.hpp"
+#include "fault/plan.hpp"
+#include "load/workload.hpp"
+
+namespace snapstab::bench {
+namespace {
+
+using load::LoadReport;
+using load::WorkloadSpec;
+using svc::ServiceId;
+
+WorkloadSpec base_spec(const std::string& mix) {
+  WorkloadSpec spec;
+  if (mix == "pif") {
+    spec.set_weight(ServiceId::PifBroadcast, 1);
+  } else if (mix == "mixed") {
+    spec.set_weight(ServiceId::PifBroadcast, 4);
+    spec.set_weight(ServiceId::Idl, 2);
+    spec.set_weight(ServiceId::Snapshot, 1);
+    spec.set_weight(ServiceId::TermDetect, 1);
+    spec.set_weight(ServiceId::Election, 1);
+  } else if (mix == "forward") {
+    spec.set_weight(ServiceId::PifBroadcast, 1);
+    spec.set_weight(ServiceId::ForwardMsg, 3);
+  } else {
+    std::fprintf(stderr, "unknown mix %s\n", mix.c_str());
+    std::exit(1);
+  }
+  return spec;
+}
+
+// The intensity ladder: window counts scale with the level, the horizon
+// stays fixed so heavier rungs mean denser (and overlapping) windows, not
+// longer fault eras.
+fault::FaultPlanSpec fault_rung(int level, bool smoke, std::uint64_t seed,
+                                int n) {
+  fault::FaultPlanSpec fs;
+  fs.seed = seed;
+  fs.horizon = smoke ? 2'000 : 10'000;
+  fs.min_len = smoke ? 50 : 200;
+  fs.max_len = smoke ? 300 : 800;
+  fs.crash_windows = level;
+  fs.garbage_windows = level + 1;
+  fs.loss_windows = level;
+  fs.duplicate_windows = level > 1 ? level - 1 : 0;
+  fs.partition_windows = (level >= 4 && n <= 64) ? 1 : 0;
+  return fs;
+}
+
+double per_sec(std::uint64_t count, std::uint64_t wall_ns) {
+  return wall_ns == 0 ? 0.0
+                      : static_cast<double>(count) * 1e9 /
+                            static_cast<double>(wall_ns);
+}
+
+// Completions per 1000 engine steps inside vs after the fault span,
+// summed over shards on each shard's own step clock.
+struct Goodput {
+  double during = 0.0;
+  double after = 0.0;
+};
+
+Goodput goodput(const LoadReport& r) {
+  std::uint64_t during_steps = 0;
+  std::uint64_t after_steps = 0;
+  for (const load::ShardResult& s : r.shards) {
+    if (s.fault_last_end == 0) continue;
+    const std::uint64_t b = std::min(s.steps, s.fault_first_begin);
+    const std::uint64_t e = std::min(s.steps, s.fault_last_end);
+    during_steps += e - b;
+    after_steps += s.steps - e;
+  }
+  Goodput g;
+  if (during_steps > 0)
+    g.during = static_cast<double>(r.total.completed_during_fault) * 1000.0 /
+               static_cast<double>(during_steps);
+  if (after_steps > 0)
+    g.after = static_cast<double>(r.total.completed_after_fault) * 1000.0 /
+              static_cast<double>(after_steps);
+  return g;
+}
+
+bool all_shards_recovered(const LoadReport& r) {
+  return std::all_of(
+      r.shards.begin(), r.shards.end(),
+      [](const load::ShardResult& s) { return s.recovered; });
+}
+
+std::string json_cell(const WorkloadSpec& spec, const LoadReport& r,
+                      const std::string& label) {
+  const load::LatencyHistogram& rec = r.total.recovery_hist;
+  const Goodput g = goodput(r);
+  char buf[640];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"label\":\"%s\",\"windows\":%d,\"completed\":%llu,"
+      "\"retries\":%llu,\"failed\":%llu,\"during\":%llu,\"after\":%llu,"
+      "\"goodput_during\":%.2f,\"goodput_after\":%.2f,"
+      "\"recovery_p50\":%llu,\"recovery_p99\":%llu,\"recovery_max\":%llu,"
+      "\"first_success_after\":%llu,\"recovered\":%s,"
+      "\"sessions_per_sec\":%.0f}",
+      label.c_str(), spec.faults.total_windows(),
+      static_cast<unsigned long long>(r.total.counters.completed),
+      static_cast<unsigned long long>(r.total.counters.retries),
+      static_cast<unsigned long long>(r.total.counters.failed),
+      static_cast<unsigned long long>(r.total.completed_during_fault),
+      static_cast<unsigned long long>(r.total.completed_after_fault),
+      g.during, g.after,
+      static_cast<unsigned long long>(rec.percentile(50)),
+      static_cast<unsigned long long>(rec.percentile(99)),
+      static_cast<unsigned long long>(rec.max()),
+      static_cast<unsigned long long>(r.total.first_success_after_fault),
+      all_shards_recovered(r) ? "true" : "false",
+      per_sec(r.total.counters.completed, r.harness_wall_ns));
+  return buf;
+}
+
+}  // namespace
+}  // namespace snapstab::bench
+
+int main(int argc, char** argv) {
+  using namespace snapstab;
+  using namespace snapstab::bench;
+  CliArgs args(argc, argv,
+               {"smoke", "shards", "threads", "n", "topology", "measure",
+                "warmup", "seed", "check_every", "json"});
+  const bool smoke = args.get_bool("smoke");
+  const int shards = static_cast<int>(args.get_int("shards", smoke ? 2 : 4));
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int threads = static_cast<int>(
+      args.get_int("threads", hw != 0 ? static_cast<int>(hw) : 1));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 15000));
+  const std::string topology = args.get("topology", "ring");
+  const int n = static_cast<int>(args.get_int("n", smoke ? 8 : 16));
+  const auto measure = static_cast<std::uint64_t>(
+      args.get_int("measure", smoke ? 256 : 4'000));
+  const auto warmup = static_cast<std::uint64_t>(
+      args.get_int("warmup", smoke ? 32 : 400));
+  const int check_every = static_cast<int>(args.get_int("check_every", 64));
+
+  banner("E15: exp_faults",
+         "snap-stabilization under load: requests issued after the fault "
+         "ceases complete correctly",
+         "Seeded fault windows (crash-restart, channel garbage, loss,\n"
+         "duplication, partitions) land mid-flight in the sharded load\n"
+         "generator; sessions retry under the client-side deadline and\n"
+         "every cell must recover after the last window closes.");
+
+  BenchJson json("exp_faults");
+  json.set_meta("topology", topology + "/" + std::to_string(n));
+  json.set("shards", shards);
+  json.set("threads", threads);
+  json.set("smoke", smoke);
+
+  const auto configure = [&](WorkloadSpec& spec) {
+    spec.topology = topology;
+    spec.n = n;
+    spec.seed = seed;
+    spec.measure = measure;
+    spec.warmup = warmup;
+    spec.check_every = check_every;
+    spec.record_wall = true;
+    spec.concurrency = 64;
+    spec.fault_deadline = smoke ? 1'000 : 4'000;
+    spec.max_steps = smoke ? 5'000'000 : 100'000'000;
+  };
+
+  bool all_recovered = true;
+  bool all_completed = true;
+
+  // --- intensity ladder x service mix -------------------------------------
+  std::printf("--- Fault intensity x mix (%s/%d) ---\n", topology.c_str(),
+              n);
+  TextTable lad({"intensity", "mix", "windows", "completed", "retries",
+                 "failed", "gput dur", "gput aft", "rec p50", "rec p99",
+                 "first-ok"});
+  std::string lad_json = "[";
+  const std::vector<std::pair<const char*, int>> rungs = {
+      {"light", 1}, {"medium", 2}, {"heavy", 4}};
+  bool first_cell = true;
+  for (const auto& [rung_name, level] : rungs) {
+    for (const char* mix : {"pif", "mixed", "forward"}) {
+      WorkloadSpec spec = base_spec(mix);
+      configure(spec);
+      spec.faults = fault_rung(level, smoke, seed + level, n);
+      const LoadReport r = load::run_sharded(spec, shards, threads);
+      const Goodput g = goodput(r);
+      const load::LatencyHistogram& rec = r.total.recovery_hist;
+      const bool recovered = all_shards_recovered(r);
+      const bool completed = r.total.counters.completed >= spec.measure &&
+                             !r.total.hit_step_budget && !r.total.stalled;
+      all_recovered = all_recovered && recovered;
+      all_completed = all_completed && completed;
+      lad.add_row(
+          {rung_name, mix,
+           TextTable::cell(spec.faults.total_windows()),
+           TextTable::cell(
+               static_cast<std::int64_t>(r.total.counters.completed)),
+           TextTable::cell(
+               static_cast<std::int64_t>(r.total.counters.retries)),
+           TextTable::cell(
+               static_cast<std::int64_t>(r.total.counters.failed)),
+           TextTable::cell(g.during, 2), TextTable::cell(g.after, 2),
+           TextTable::cell(static_cast<std::int64_t>(rec.percentile(50))),
+           TextTable::cell(static_cast<std::int64_t>(rec.percentile(99))),
+           TextTable::cell(static_cast<std::int64_t>(
+               r.total.first_success_after_fault))});
+      if (!first_cell) lad_json += ",";
+      first_cell = false;
+      lad_json += json_cell(
+          spec, r, std::string(rung_name) + "/" + mix);
+    }
+  }
+  lad_json += "]";
+  lad.print();
+  json.set_raw("intensity_ladder", lad_json);
+
+  // --- topology sweep at medium intensity ---------------------------------
+  std::printf("\n--- Topology sweep (medium intensity, pif mix) ---\n");
+  TextTable topo({"topology", "completed", "retries", "failed", "gput dur",
+                  "gput aft", "rec p50", "rec p99", "first-ok"});
+  std::string topo_json = "[";
+  const std::vector<std::string> topologies = {"ring", "complete", "tree"};
+  for (std::size_t i = 0; i < topologies.size(); ++i) {
+    WorkloadSpec spec = base_spec("pif");
+    configure(spec);
+    spec.topology = topologies[i];
+    spec.faults = fault_rung(2, smoke, seed + 100 + i, n);
+    const LoadReport r = load::run_sharded(spec, shards, threads);
+    const Goodput g = goodput(r);
+    const load::LatencyHistogram& rec = r.total.recovery_hist;
+    const bool recovered = all_shards_recovered(r);
+    const bool completed = r.total.counters.completed >= spec.measure &&
+                           !r.total.hit_step_budget && !r.total.stalled;
+    all_recovered = all_recovered && recovered;
+    all_completed = all_completed && completed;
+    topo.add_row(
+        {topologies[i],
+         TextTable::cell(
+             static_cast<std::int64_t>(r.total.counters.completed)),
+         TextTable::cell(
+             static_cast<std::int64_t>(r.total.counters.retries)),
+         TextTable::cell(
+             static_cast<std::int64_t>(r.total.counters.failed)),
+         TextTable::cell(g.during, 2), TextTable::cell(g.after, 2),
+         TextTable::cell(static_cast<std::int64_t>(rec.percentile(50))),
+         TextTable::cell(static_cast<std::int64_t>(rec.percentile(99))),
+         TextTable::cell(static_cast<std::int64_t>(
+             r.total.first_success_after_fault))});
+    if (i != 0) topo_json += ",";
+    topo_json += json_cell(spec, r, topologies[i]);
+  }
+  topo_json += "]";
+  topo.print();
+  json.set_raw("topology_sweep", topo_json);
+
+  // --- determinism: faulted merge identical for any worker count ----------
+  WorkloadSpec pin = base_spec("mixed");
+  configure(pin);
+  pin.measure = smoke ? 128 : 512;
+  pin.warmup = 16;
+  pin.faults = fault_rung(2, smoke, seed + 7, n);
+  const std::string json1 =
+      load::run_sharded(pin, 4, 1).deterministic_json(pin);
+  const std::string json4 =
+      load::run_sharded(pin, 4, 4).deterministic_json(pin);
+  const bool deterministic = json1 == json4;
+
+  std::printf("\n");
+  verdict(all_recovered,
+          "every cell recovered: a session submitted after the last fault "
+          "window closed completed correctly on every shard");
+  verdict(all_completed,
+          "every cell reached its completion target without stalling or "
+          "exhausting the step budget");
+  verdict(deterministic,
+          "faulted sharded merge deterministic: aggregate JSON (fault "
+          "section included) bit-identical for --threads 1 vs 4");
+
+  json.set("all_recovered", all_recovered);
+  json.set("all_completed", all_completed);
+  json.set("deterministic", deterministic);
+  json.set_raw("determinism_pin", json1);
+  if (!json.write_if_requested(args)) return 1;
+  return all_recovered && all_completed && deterministic ? 0 : 1;
+}

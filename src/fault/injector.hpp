@@ -1,0 +1,69 @@
+// injector.hpp — applies a compiled FaultPlan to a running Simulator.
+//
+// The Injector is driven from the engine's stop predicate (the PR-4 sealed
+// loop reconciles the enabled-step index after every predicate call, so
+// the injector may scramble process state and mutate channels freely): on
+// each poll it advances a cursor over the plan's sorted event list, fires
+// window-open effects once (with one `fault` observation each — the golden
+// crash-restart trace pins them), and applies the continued effects of
+// every still-open window (re-scramble for a crashed process, probabilistic
+// drops/duplicates, partition wipes). All randomness comes from the
+// injector's own stream seeded by the plan, so the same (seed, plan, drive
+// cadence) replays bit-identically.
+#ifndef SNAPSTAB_FAULT_INJECTOR_HPP
+#define SNAPSTAB_FAULT_INJECTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/plan.hpp"
+#include "sim/simulator.hpp"
+
+namespace snapstab::fault {
+
+class Injector {
+ public:
+  // The plan must outlive the injector. The injector's draw stream is
+  // derived from the plan seed, independent of world/scheduler streams.
+  explicit Injector(const FaultPlan& plan)
+      : plan_(&plan), rng_(plan.seed() ^ 0xFA17FA17FA17FA17ull) {}
+
+  // Applies every fault effect due at the simulator's current step.
+  // Returns the number of effects applied (diagnostics). Idempotent for a
+  // step with no open windows and no pending events — O(active windows).
+  int poll(sim::Simulator& sim);
+
+  // True once every window has closed and the event cursor has drained:
+  // further polls are inert (the fault has ceased, in the paper's sense).
+  bool done() const noexcept {
+    return cursor_ >= plan_->events().size() && active_.empty();
+  }
+
+  const FaultPlan& plan() const noexcept { return *plan_; }
+
+  struct Counters {
+    std::uint64_t crashes = 0;          // crash-restart scrambles applied
+    std::uint64_t garbage_bursts = 0;   // channel clear+refill bursts
+    std::uint64_t drops = 0;            // adversarial head drops
+    std::uint64_t duplicates = 0;       // head re-enqueues
+    std::uint64_t partition_wipes = 0;  // messages wiped crossing a cut
+  };
+  const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  void open_window(sim::Simulator& sim, std::uint32_t idx);
+  int apply_active(sim::Simulator& sim, std::uint32_t idx);
+  void scramble_process(sim::Simulator& sim, sim::ProcessId p);
+  void garbage_fill(sim::Simulator& sim, sim::EdgeId e);
+
+  const FaultPlan* plan_;
+  Rng rng_;
+  std::size_t cursor_ = 0;             // next unprocessed plan event
+  std::vector<std::uint32_t> active_;  // open windows, plan order
+  Counters counters_{};
+};
+
+}  // namespace snapstab::fault
+
+#endif  // SNAPSTAB_FAULT_INJECTOR_HPP

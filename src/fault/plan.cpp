@@ -1,0 +1,133 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace snapstab::fault {
+
+FaultPlan FaultPlan::compile(const FaultPlanSpec& spec,
+                             const sim::Topology& topology) {
+  SNAPSTAB_CHECK_MSG(spec.min_len >= 1 && spec.min_len <= spec.max_len,
+                     "fault window length bounds must satisfy 1 <= min <= max");
+  SNAPSTAB_CHECK_MSG(spec.horizon >= 1, "fault horizon must be >= 1 step");
+  const int n = topology.process_count();
+  const int edges = topology.edge_count();
+  SNAPSTAB_CHECK_MSG(spec.partition_windows == 0 || n <= 64,
+                     "partition windows encode the cut as a 64-bit mask");
+
+  FaultPlan plan;
+  plan.seed_ = spec.seed;
+  plan.flag_limit_ = spec.flag_limit;
+  plan.forward_header_n_ = spec.forward_header_n;
+  Rng rng(spec.seed);
+
+  const auto draw_span = [&](FaultWindow& w) {
+    w.begin = rng.below(spec.horizon);
+    w.end = w.begin + spec.min_len +
+            rng.below(spec.max_len - spec.min_len + 1);
+  };
+  const auto push = [&](int count, FaultKind kind) {
+    for (int i = 0; i < count; ++i) {
+      FaultWindow w;
+      w.kind = kind;
+      draw_span(w);
+      w.rate = spec.rate;
+      switch (kind) {
+        case FaultKind::CrashRestart:
+          w.process = static_cast<sim::ProcessId>(
+              rng.below(static_cast<std::uint64_t>(n)));
+          break;
+        case FaultKind::ChannelGarbage:
+        case FaultKind::EdgeLoss:
+        case FaultKind::EdgeDuplicate:
+          w.edge = static_cast<sim::EdgeId>(
+              rng.below(static_cast<std::uint64_t>(edges)));
+          break;
+        case FaultKind::LinkPartition: {
+          // A non-trivial cut: side A is a uniform non-empty proper subset.
+          const std::uint64_t full =
+              n == 64 ? ~0ull : ((1ull << n) - 1);
+          std::uint64_t mask = 0;
+          while (mask == 0 || mask == full) mask = rng.next() & full;
+          w.partition_mask = mask;
+          break;
+        }
+      }
+      plan.windows_.push_back(w);
+    }
+  };
+  push(spec.crash_windows, FaultKind::CrashRestart);
+  push(spec.garbage_windows, FaultKind::ChannelGarbage);
+  push(spec.loss_windows, FaultKind::EdgeLoss);
+  push(spec.duplicate_windows, FaultKind::EdgeDuplicate);
+  push(spec.partition_windows, FaultKind::LinkPartition);
+
+  // Canonical window order: by begin step, then kind, then target — the
+  // Injector applies same-step openings in this order, so the order is part
+  // of the replay contract (and of the digest).
+  std::sort(plan.windows_.begin(), plan.windows_.end(),
+            [](const FaultWindow& a, const FaultWindow& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.process != b.process) return a.process < b.process;
+              if (a.edge != b.edge) return a.edge < b.edge;
+              return a.partition_mask < b.partition_mask;
+            });
+
+  plan.events_.reserve(plan.windows_.size() * 2);
+  for (std::uint32_t i = 0; i < plan.windows_.size(); ++i) {
+    const FaultWindow& w = plan.windows_[i];
+    plan.events_.push_back(Event{w.begin, i, true});
+    plan.events_.push_back(Event{w.end, i, false});
+    if (w.end > plan.last_end_) plan.last_end_ = w.end;
+  }
+  std::sort(plan.events_.begin(), plan.events_.end(),
+            [](const Event& a, const Event& b) {
+              if (a.step != b.step) return a.step < b.step;
+              if (a.open != b.open) return !a.open;  // closes before opens
+              return a.window < b.window;
+            });
+  plan.first_begin_ =
+      plan.windows_.empty() ? 0 : plan.windows_.front().begin;
+  return plan;
+}
+
+std::uint64_t FaultPlan::digest() const noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(seed_);
+  for (const FaultWindow& w : windows_) {
+    mix(static_cast<std::uint64_t>(w.kind));
+    mix(w.begin);
+    mix(w.end);
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(w.process)));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(w.edge)));
+    // The rate is spec-provided (finite, not NaN); its bit pattern is
+    // stable for identical specs.
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof w.rate);
+    __builtin_memcpy(&bits, &w.rate, sizeof bits);
+    mix(bits);
+    mix(w.partition_mask);
+  }
+  return h;
+}
+
+std::string FaultPlan::repro_line() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "fault-plan seed=%llu windows=%zu plan-digest=%016llx",
+                static_cast<unsigned long long>(seed_), windows_.size(),
+                static_cast<unsigned long long>(digest()));
+  return buf;
+}
+
+}  // namespace snapstab::fault

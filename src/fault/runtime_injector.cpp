@@ -1,0 +1,138 @@
+#include "fault/runtime_injector.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "msg/strpool.hpp"
+#include "svc/host.hpp"
+
+namespace snapstab::fault {
+
+RuntimeInjector::RuntimeInjector(const FaultPlan& plan,
+                                 runtime::ThreadRuntime& rt,
+                                 RuntimeInjectorOptions options)
+    : plan_(&plan),
+      rt_(&rt),
+      options_(options),
+      rng_(plan.seed() ^ 0xFA17FA17FA17FA17ull) {
+  SNAPSTAB_CHECK_MSG(options_.step_duration.count() > 0,
+                     "step_duration must be positive");
+}
+
+RuntimeInjector::~RuntimeInjector() { stop(); }
+
+void RuntimeInjector::start() {
+  SNAPSTAB_CHECK_MSG(!thread_.joinable(), "injector already started");
+  if (plan_->empty()) {
+    done_.store(true, std::memory_order_release);
+    return;
+  }
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void RuntimeInjector::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void RuntimeInjector::crash(sim::ProcessId p) {
+  rt_->with_process<sim::Process>(p, [this](sim::Process& proc) {
+    // Same dispatch as the simulator-side Injector: a ServiceHost also
+    // fails its live sessions; anything else takes the plain scramble.
+    if (auto* host = dynamic_cast<svc::ServiceHost*>(&proc))
+      host->crash_restart(rng_);
+    else
+      proc.randomize(rng_);
+    return 0;
+  });
+  ++counters_.crashes;
+}
+
+void RuntimeInjector::garbage_fill(sim::EdgeId e) {
+  const sim::Topology& topo = rt_->topology();
+  runtime::Mailbox& mb =
+      rt_->mailbox_mut(topo.edge_src(e), topo.edge_dst(e));
+  while (mb.try_pop().has_value()) {
+  }
+  const std::size_t count = 1 + rng_.below(mb.capacity());
+  const int fwd_n = plan_->forward_header_n();
+  for (std::size_t i = 0; i < count; ++i)
+    mb.try_push(fwd_n > 0
+                    ? Message::random_forward(rng_, plan_->flag_limit(), fwd_n)
+                    : Message::random(rng_, plan_->flag_limit()));
+  ++counters_.garbage_bursts;
+}
+
+void RuntimeInjector::apply_window(const FaultWindow& w, bool opening) {
+  const sim::Topology& topo = rt_->topology();
+  switch (w.kind) {
+    case FaultKind::CrashRestart:
+      // Every poll re-scrambles: the process stays down for the window.
+      crash(w.process);
+      break;
+    case FaultKind::ChannelGarbage:
+      if (opening || rng_.chance(w.rate)) garbage_fill(w.edge);
+      break;
+    case FaultKind::EdgeLoss:
+      if (!opening && rng_.chance(w.rate)) {
+        runtime::Mailbox& mb =
+            rt_->mailbox_mut(topo.edge_src(w.edge), topo.edge_dst(w.edge));
+        if (mb.try_pop().has_value()) ++counters_.drops;
+      }
+      break;
+    case FaultKind::EdgeDuplicate:
+      if (!opening && rng_.chance(w.rate)) {
+        runtime::Mailbox& mb =
+            rt_->mailbox_mut(topo.edge_src(w.edge), topo.edge_dst(w.edge));
+        // Mailboxes have no peek: re-enqueue the popped head twice. The
+        // tail reordering is fair game under real concurrency.
+        if (auto m = mb.try_pop()) {
+          mb.try_push(*m);
+          if (mb.try_push(*m)) ++counters_.duplicates;
+        }
+      }
+      break;
+    case FaultKind::LinkPartition:
+      for (sim::EdgeId e = 0; e < topo.edge_count(); ++e) {
+        const bool src_a = (w.partition_mask >> topo.edge_src(e)) & 1u;
+        const bool dst_a = (w.partition_mask >> topo.edge_dst(e)) & 1u;
+        if (src_a == dst_a) continue;
+        runtime::Mailbox& mb =
+            rt_->mailbox_mut(topo.edge_src(e), topo.edge_dst(e));
+        while (mb.try_pop().has_value()) ++counters_.partition_wipes;
+      }
+      break;
+  }
+}
+
+void RuntimeInjector::thread_main() {
+  // Garbage payloads intern into the runtime's pool, same rule as every
+  // node thread (see ThreadRuntime::thread_main).
+  ScopedStringPool pool_scope(rt_->string_pool());
+  const auto epoch = std::chrono::steady_clock::now();
+  const auto& events = plan_->events();
+  const auto& windows = plan_->windows();
+  std::size_t cursor = 0;
+  std::vector<std::uint32_t> active;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const std::uint64_t now_step = static_cast<std::uint64_t>(
+        (std::chrono::steady_clock::now() - epoch) / options_.step_duration);
+    while (cursor < events.size() && events[cursor].step <= now_step) {
+      const FaultPlan::Event ev = events[cursor++];
+      if (ev.open) {
+        active.push_back(ev.window);
+        apply_window(windows[ev.window], /*opening=*/true);
+      } else {
+        const auto it = std::find(active.begin(), active.end(), ev.window);
+        if (it != active.end()) active.erase(it);
+      }
+    }
+    for (const std::uint32_t idx : active)
+      apply_window(windows[idx], /*opening=*/false);
+    if (cursor >= events.size() && active.empty()) break;
+    std::this_thread::sleep_for(options_.poll_interval);
+  }
+  done_.store(true, std::memory_order_release);
+}
+
+}  // namespace snapstab::fault

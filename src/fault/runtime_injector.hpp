@@ -1,0 +1,80 @@
+// runtime_injector.hpp — applies a FaultPlan to a live ThreadRuntime.
+//
+// The thread-runtime counterpart of fault::Injector: a dedicated injection
+// thread maps the plan's step-clock window spans onto wall time (one step =
+// `step_duration`) and applies the same effects against real concurrency —
+// crash-restart through with_process (under the node lock), channel
+// garbage/loss/duplication/partition wipes against the internally
+// synchronized mailboxes. Unlike the simulator path this is NOT replayable
+// bit-for-bit (the whole runtime is racy by design); what it preserves is
+// the fault *schedule* and the recovery contract under test: after stop()
+// the fault has ceased and fresh sessions must complete.
+#ifndef SNAPSTAB_FAULT_RUNTIME_INJECTOR_HPP
+#define SNAPSTAB_FAULT_RUNTIME_INJECTOR_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/plan.hpp"
+#include "runtime/thread_runtime.hpp"
+
+namespace snapstab::fault {
+
+struct RuntimeInjectorOptions {
+  // Wall-clock length of one plan step: a window [b, e) runs from
+  // b*step_duration to e*step_duration after start().
+  std::chrono::microseconds step_duration{50};
+  std::chrono::milliseconds poll_interval{2};
+};
+
+class RuntimeInjector {
+ public:
+  RuntimeInjector(const FaultPlan& plan, runtime::ThreadRuntime& rt,
+                  RuntimeInjectorOptions options = {});
+  ~RuntimeInjector();  // stops and joins
+
+  RuntimeInjector(const RuntimeInjector&) = delete;
+  RuntimeInjector& operator=(const RuntimeInjector&) = delete;
+
+  // Spawns the injection thread; the plan's step 0 is "now".
+  void start();
+  // Signals and joins. Idempotent. After stop() returns no further fault
+  // effect is applied — the fault has ceased.
+  void stop();
+  // True once every window span has elapsed (the thread exits on its own;
+  // stop() is still required before destruction to join it).
+  bool done() const noexcept { return done_.load(std::memory_order_acquire); }
+
+  struct Counters {
+    std::uint64_t crashes = 0;
+    std::uint64_t garbage_bursts = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t partition_wipes = 0;
+  };
+  // Stable only after stop().
+  const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  void thread_main();
+  void apply_window(const FaultWindow& w, bool opening);
+  void crash(sim::ProcessId p);
+  void garbage_fill(sim::EdgeId e);
+
+  const FaultPlan* plan_;
+  runtime::ThreadRuntime* rt_;
+  RuntimeInjectorOptions options_;
+  Rng rng_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> done_{false};
+  Counters counters_{};
+};
+
+}  // namespace snapstab::fault
+
+#endif  // SNAPSTAB_FAULT_RUNTIME_INJECTOR_HPP

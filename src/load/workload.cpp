@@ -11,6 +11,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "fault/injector.hpp"
 #include "load/shard.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/topology.hpp"
@@ -53,13 +54,20 @@ sim::Topology make_topology(const std::string& name, int n,
 
 // One in-flight logical request, from the driver's point of view. The seq
 // may be shared with other slots (coalesced submissions chain onto one
-// host session); each slot still gets its own completion callback.
+// host session); each slot still gets its own completion callback. Under a
+// fault plan a request may span several attempts: `gen` stamps the current
+// attempt so callbacks and delivery matches from abandoned attempts are
+// recognized as stale, and `desc` is kept for resubmission.
 struct LiveSlot {
-  std::uint64_t submit_step = 0;
+  std::uint64_t submit_step = 0;  // first attempt: latency spans retries
   std::uint64_t submit_wall = 0;  // record_wall only
+  std::uint64_t deadline = 0;     // faulted runs: abandon the attempt here
   std::uint32_t seq = 0;
+  std::uint32_t gen = 0;
+  std::uint32_t attempts = 0;
   sim::ProcessId origin = -1;
   bool in_use = false;
+  svc::Descriptor desc;  // faulted runs only (retries resubmit it)
 };
 
 struct Driver {
@@ -77,8 +85,10 @@ struct Driver {
   std::vector<std::uint32_t> free_slots;
   std::uint64_t live = 0;
 
-  // ForwardMsg end-to-end matching: (origin << 20 | wire_seq) -> slot.
-  std::unordered_map<std::uint64_t, std::uint32_t> fwd_wait;
+  // ForwardMsg end-to-end matching: (origin << 20 | wire_seq) ->
+  // (gen << 32 | slot); the gen is checked on match so a delivery for an
+  // abandoned attempt cannot complete the slot's current occupant.
+  std::unordered_map<std::uint64_t, std::uint64_t> fwd_wait;
   std::vector<svc::ServiceHost::Delivery> scratch;
   bool any_forward = false;
 
@@ -89,9 +99,22 @@ struct Driver {
   std::uint64_t next_arrival = 0;  // open loop, in engine steps
   std::int64_t next_payload = 0;
 
+  // Fault engine (faults_on iff the spec carries windows; everything below
+  // is untouched otherwise, so faults-off streams stay bit-identical).
+  bool faults_on = false;
+  fault::Injector* injector = nullptr;
+  std::uint64_t fault_first_begin = 0;
+  std::uint64_t fault_last_end = 0;
+
   WorkloadCounters counters;
   LatencyHistogram steps_hist;
   LatencyHistogram wall_hist;
+  // Recovery metrics (faulted runs).
+  std::uint64_t completed_during_fault = 0;
+  std::uint64_t completed_after_fault = 0;
+  std::uint64_t first_success_after_fault = 0;
+  bool recovered = false;
+  LatencyHistogram recovery_hist;
 
   ServiceId pick_service() {
     const auto r = static_cast<std::uint32_t>(rng.below(weight_total));
@@ -101,26 +124,97 @@ struct Driver {
     return ServiceId::PifBroadcast;  // unreachable
   }
 
-  void on_session_done(std::uint32_t si, const svc::SessionKey& key,
-                       const svc::SessionResult& r) {
-    LiveSlot& ls = slots[si];
-    if (r.completed) {
-      ++counters.completed;
-      ++completions;
-      if (completions > warmup) {
-        steps_hist.record(sim->step_count() - ls.submit_step);
-        if (spec->record_wall) wall_hist.record(now_ns() - ls.submit_wall);
-      }
-    } else {
-      ++counters.refused;  // ForwardMsg admission refusal (born Done)
-    }
-    ls.in_use = false;
+  void free_slot(std::uint32_t si) {
+    slots[si].in_use = false;
     free_slots.push_back(si);
     --live;
+  }
+
+  void on_session_done(std::uint32_t si, std::uint32_t gen,
+                       const svc::SessionKey& key,
+                       const svc::SessionResult& r) {
     // Recycle the host-side record immediately: O(live) memory however
     // many sessions pass through. A coalesced twin releases once; the
     // chained callbacks' repeat releases are no-ops.
     hosts[static_cast<std::size_t>(key.origin)]->release_session(key.seq);
+    LiveSlot& ls = slots[si];
+    // A ghost completion of an attempt the driver already abandoned
+    // (deadline-expired and resubmitted, or slot recycled): record nothing.
+    if (!ls.in_use || ls.gen != gen) return;
+    if (r.completed) {
+      ++counters.completed;
+      ++completions;
+      const std::uint64_t step = sim->step_count();
+      if (completions > warmup) {
+        steps_hist.record(step - ls.submit_step);
+        if (spec->record_wall) wall_hist.record(now_ns() - ls.submit_wall);
+      }
+      if (faults_on) {
+        if (step >= fault_last_end)
+          ++completed_after_fault;
+        else if (step >= fault_first_begin)
+          ++completed_during_fault;
+        if (ls.submit_step >= fault_last_end) {
+          recovery_hist.record(step - ls.submit_step);
+          if (!recovered) {
+            recovered = true;
+            first_success_after_fault = step - fault_last_end;
+          }
+        }
+      }
+      free_slot(si);
+      return;
+    }
+    // Failed attempt: a ForwardMsg admission refusal (backpressure) or a
+    // session killed by a crash-restart window (admission stays Accepted).
+    if (r.admission != core::ForwardSubmit::Accepted) ++counters.refused;
+    if (!faults_on) {  // historic behavior: refusals are terminal
+      free_slot(si);
+      return;
+    }
+    retry_or_fail(si);
+  }
+
+  void retry_or_fail(std::uint32_t si) {
+    LiveSlot& ls = slots[si];
+    if (ls.attempts > static_cast<std::uint32_t>(spec->fault_max_retries)) {
+      ++counters.failed;
+      free_slot(si);
+      return;
+    }
+    ++counters.retries;
+    resubmit_slot(si);
+  }
+
+  // Resubmits the slot's descriptor as a fresh attempt (faulted runs). The
+  // abandoned attempt's host record, if still live, is left to its ghost
+  // completion; the gen bump makes that completion stale on arrival.
+  void resubmit_slot(std::uint32_t si) {
+    LiveSlot& ls = slots[si];
+    ++ls.gen;
+    ++ls.attempts;
+    ls.deadline = sim->step_count() + spec->fault_deadline;
+    const std::uint32_t gen = ls.gen;
+    const svc::Session s = client->submit_desc(
+        ls.origin, ls.desc,
+        [this, si, gen](const svc::SessionKey& k,
+                        const svc::SessionResult& r) {
+          on_session_done(si, gen, k, r);
+        });
+    ++counters.submitted;
+    if (s.coalesced) ++counters.coalesced;
+    // A synchronous refusal re-enters retry_or_fail inside submit_desc:
+    // by now the slot is free or carries a newer attempt — leave it alone.
+    if (!slots[si].in_use || slots[si].gen != gen) return;
+    slots[si].seq = s.key.seq;
+    if (ls.desc.service == ServiceId::ForwardMsg) {
+      fwd_wait[(static_cast<std::uint64_t>(s.key.origin) << 20) |
+               s.wire_seq] = fwd_slot_token(si, gen);
+    }
+  }
+
+  static std::uint64_t fwd_slot_token(std::uint32_t si, std::uint32_t gen) {
+    return (static_cast<std::uint64_t>(gen) << 32) | si;
   }
 
   // Submits one session of the weighted mix from a fresh driver slot.
@@ -161,21 +255,31 @@ struct Driver {
     ls.origin = origin;
     ls.submit_step = sim->step_count();
     if (spec->record_wall) ls.submit_wall = now_ns();
+    ++ls.gen;  // invalidate any ghost callback of the slot's previous life
+    ls.attempts = 1;
+    if (faults_on) {
+      ls.desc = d;
+      ls.deadline = ls.submit_step + spec->fault_deadline;
+    }
+    const std::uint32_t gen = ls.gen;
     ++live;
     const svc::Session s = client->submit_desc(
         origin, d,
-        [this, si](const svc::SessionKey& k, const svc::SessionResult& r) {
-          on_session_done(si, k, r);
+        [this, si, gen](const svc::SessionKey& k,
+                        const svc::SessionResult& r) {
+          on_session_done(si, gen, k, r);
         });
     ++counters.submitted;
     if (s.coalesced) ++counters.coalesced;
-    if (!slots[si].in_use) return false;  // refused synchronously
+    // Refused synchronously — and, under a fault plan, possibly already
+    // resubmitted as a newer attempt from inside the callback.
+    if (!slots[si].in_use || slots[si].gen != gen) return false;
     slots[si].seq = s.key.seq;
     if (fwd) {
       any_forward = true;
       fwd_wait.emplace((static_cast<std::uint64_t>(s.key.origin) << 20) |
                            s.wire_seq,
-                       si);
+                       fwd_slot_token(si, gen));
     }
     return true;
   }
@@ -185,21 +289,35 @@ struct Driver {
   // the observation log. Returns true when the shard's completion target
   // is met.
   bool pump() {
+    // Fault effects apply first, at the pump's step-clock cadence, before
+    // any completion is observed or any new work submitted.
+    if (faults_on) injector->poll(*sim);
+
     if (any_forward) {
       for (svc::ServiceHost* h : hosts) h->take_deliveries(scratch);
       for (const svc::ServiceHost::Delivery& del : scratch) {
         const auto it = fwd_wait.find(
             (static_cast<std::uint64_t>(del.origin) << 20) | del.wire_seq);
         if (it == fwd_wait.end()) continue;  // released / foreign traffic
-        const std::uint32_t si = it->second;
+        const auto si = static_cast<std::uint32_t>(it->second & 0xFFFFFFFFu);
+        const auto gen = static_cast<std::uint32_t>(it->second >> 32);
         fwd_wait.erase(it);
-        if (!slots[si].in_use) continue;
+        if (!slots[si].in_use || slots[si].gen != gen) continue;
         // finish_forward completes the origin's session and fires the
         // slot's callback (which records latency and frees the slot).
         hosts[static_cast<std::size_t>(slots[si].origin)]->finish_forward(
             slots[si].seq);
       }
       scratch.clear();
+    }
+
+    // Deadline pass (faulted runs): an attempt whose in-flight computation
+    // a window wiped would otherwise hang forever — abandon and retry it.
+    if (faults_on) {
+      const std::uint64_t now = sim->step_count();
+      for (std::uint32_t si = 0; si < slots.size(); ++si) {
+        if (slots[si].in_use && now >= slots[si].deadline) retry_or_fail(si);
+      }
     }
 
     if (completions >= target) return true;
@@ -273,6 +391,10 @@ ShardResult run_workload_shard(const WorkloadSpec& spec, int shard,
   const std::uint64_t world_seed = splitmix64(mix);
   const std::uint64_t sched_seed = splitmix64(mix);
   const std::uint64_t driver_seed = splitmix64(mix);
+  // Drawn ONLY for faulted specs, so faults-off runs keep the exact seed
+  // streams (and bytes) they had before the fault engine existed.
+  const bool faults_on = spec.faults.total_windows() > 0;
+  const std::uint64_t fault_seed = faults_on ? splitmix64(mix) : 0;
 
   auto sim = svc::service_world(
       make_topology(spec.topology, spec.n, world_seed), spec.channel_capacity,
@@ -299,6 +421,19 @@ ShardResult run_workload_shard(const WorkloadSpec& spec, int shard,
   sim->set_scheduler(std::make_unique<sim::RandomScheduler>(sched_seed));
   svc::Client client(*sim);
 
+  fault::FaultPlan plan;
+  std::unique_ptr<fault::Injector> injector;
+  if (faults_on) {
+    fault::FaultPlanSpec fs = spec.faults;
+    fs.seed = spec.faults.seed ^ fault_seed;  // per-shard schedule
+    if (fs.forward_header_n == 0 && with_fwd) fs.forward_header_n = spec.n;
+    plan = fault::FaultPlan::compile(fs, sim->topology());
+    injector = std::make_unique<fault::Injector>(plan);
+    out.fault_first_begin = plan.first_begin();
+    out.fault_last_end = plan.last_end();
+    out.plan_digest = plan.digest();
+  }
+
   Driver drv;
   drv.spec = &spec;
   drv.sim = sim.get();
@@ -307,6 +442,12 @@ ShardResult run_workload_shard(const WorkloadSpec& spec, int shard,
   for (sim::ProcessId p = 0; p < sim->process_count(); ++p)
     drv.hosts.push_back(&sim->process_as<svc::ServiceHost>(p));
   drv.rng = Rng(driver_seed);
+  if (faults_on) {
+    drv.faults_on = true;
+    drv.injector = injector.get();
+    drv.fault_first_begin = plan.first_begin();
+    drv.fault_last_end = plan.last_end();
+  }
   std::uint32_t acc = 0;
   for (int i = 0; i < svc::kServiceIdCount; ++i) {
     acc += w[static_cast<std::size_t>(i)];
@@ -346,11 +487,19 @@ ShardResult run_workload_shard(const WorkloadSpec& spec, int shard,
     }
     if (reason == sim::Simulator::StopReason::Quiescent) {
       // No enabled step. Open loop: logical time jumps to the next
-      // arrival. Either way the pump gets one chance to inject work; a
-      // still-quiescent world with nothing submitted is a stall (e.g. an
-      // all-shed arrival stream) — stop rather than spin.
+      // arrival. Faulted runs: step time is frozen, so pending attempt
+      // deadlines would never fire — expire every live attempt now (a
+      // wiped in-flight computation strands its session otherwise) and let
+      // the retry pass re-enable the world. Either way the pump gets one
+      // chance to inject work; a still-quiescent world with nothing
+      // submitted is a stall — stop rather than spin.
       if (spec.arrival == WorkloadSpec::Arrival::Open)
         drv.next_arrival = sim->step_count();
+      if (faults_on) {
+        for (LiveSlot& ls : drv.slots)
+          if (ls.in_use && ls.deadline > sim->step_count())
+            ls.deadline = sim->step_count();
+      }
       const std::uint64_t before = drv.counters.submitted;
       done = drv.pump();
       if (!done && drv.counters.submitted == before) {
@@ -365,6 +514,13 @@ ShardResult run_workload_shard(const WorkloadSpec& spec, int shard,
   out.wall_hist = drv.wall_hist;
   out.steps = sim->step_count();
   out.wall_ns = now_ns() - wall_start;
+  if (faults_on) {
+    out.completed_during_fault = drv.completed_during_fault;
+    out.completed_after_fault = drv.completed_after_fault;
+    out.first_success_after_fault = drv.first_success_after_fault;
+    out.recovered = drv.recovered;
+    out.recovery_hist = drv.recovery_hist;
+  }
   return out;
 }
 
@@ -386,6 +542,24 @@ LoadReport run_sharded(const WorkloadSpec& spec, int shards, int threads) {
     report.total.wall_ns += s.wall_ns;
     report.total.hit_step_budget |= s.hit_step_budget;
     report.total.stalled |= s.stalled;
+    // Fault span: envelope across per-shard plans; first success: the
+    // fastest recovering shard (each measures from its own window close).
+    if (s.fault_last_end > 0) {
+      if (report.total.fault_last_end == 0 ||
+          s.fault_first_begin < report.total.fault_first_begin)
+        report.total.fault_first_begin = s.fault_first_begin;
+      if (s.fault_last_end > report.total.fault_last_end)
+        report.total.fault_last_end = s.fault_last_end;
+    }
+    report.total.completed_during_fault += s.completed_during_fault;
+    report.total.completed_after_fault += s.completed_after_fault;
+    report.total.recovery_hist.merge(s.recovery_hist);
+    if (s.recovered &&
+        (!report.total.recovered ||
+         s.first_success_after_fault < report.total.first_success_after_fault)) {
+      report.total.recovered = true;
+      report.total.first_success_after_fault = s.first_success_after_fault;
+    }
   }
   return report;
 }
@@ -458,7 +632,52 @@ std::string LoadReport::deterministic_json(const WorkloadSpec& spec) const {
     if (i != 0) s += ',';
     u(shards[i].steps);
   }
-  s += "]}}";
+  s += "]}";
+  // Fault/recovery section ONLY for faulted specs: the faults-off byte
+  // stream is pinned by the cross-thread determinism test and must not
+  // move when this feature ships.
+  if (spec.faults.total_windows() > 0) {
+    const LatencyHistogram& r = total.recovery_hist;
+    s += ",\"faults\":{\"windows\":";
+    u(static_cast<std::uint64_t>(spec.faults.total_windows()));
+    s += ",\"plan_seed\":";
+    u(spec.faults.seed);
+    s += ",\"retries\":";
+    u(total.counters.retries);
+    s += ",\"failed\":";
+    u(total.counters.failed);
+    s += ",\"completed_during\":";
+    u(total.completed_during_fault);
+    s += ",\"completed_after\":";
+    u(total.completed_after_fault);
+    s += ",\"recovered\":";
+    s += total.recovered ? "true" : "false";
+    s += ",\"first_success_after\":";
+    u(total.first_success_after_fault);
+    s += ",\"recovery_latency\":{\"count\":";
+    u(r.count());
+    s += ",\"p50\":";
+    u(r.percentile(50));
+    s += ",\"p99\":";
+    u(r.percentile(99));
+    s += ",\"max\":";
+    u(r.max());
+    s += ",\"digest\":\"";
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(r.digest()));
+    s += buf;
+    s += "\"},\"plan_digests\":[";
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      if (i != 0) s += ',';
+      s += '"';
+      std::snprintf(buf, sizeof buf, "%016llx",
+                    static_cast<unsigned long long>(shards[i].plan_digest));
+      s += buf;
+      s += '"';
+    }
+    s += "]}";
+  }
+  s += "}";
   return s;
 }
 

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "load/histogram.hpp"
 #include "svc/service.hpp"
 
@@ -68,6 +69,18 @@ struct WorkloadSpec {
   // in addition to the always-on engine-step latency.
   bool record_wall = false;
 
+  // Fault engine (inert when total_windows() == 0 — the default — in which
+  // case every draw stream and the deterministic_json bytes are identical
+  // to a faults-free build). Each shard compiles its own plan from
+  // (faults.seed, shard derivation) against its own topology and polls a
+  // fault::Injector from the driver pump.
+  fault::FaultPlanSpec faults;
+  // Faulted sessions only: a session that fails (killed by a crash-restart,
+  // refused, or past its step deadline) is resubmitted with the SAME
+  // descriptor, up to this many retries; latency spans all attempts.
+  int fault_max_retries = 8;
+  std::uint64_t fault_deadline = 20'000;  // per-attempt deadline, steps
+
   void set_weight(svc::ServiceId s, std::uint32_t w) {
     weights[static_cast<std::size_t>(s)] = w;
   }
@@ -79,6 +92,9 @@ struct WorkloadCounters {
   std::uint64_t coalesced = 0;  // submissions that joined a queued twin
   std::uint64_t refused = 0;    // ForwardMsg admissions refused
   std::uint64_t shed = 0;       // open-loop arrivals dropped at the cap
+  // Faulted runs only (always zero otherwise):
+  std::uint64_t retries = 0;    // failed-attempt resubmissions
+  std::uint64_t failed = 0;     // requests abandoned after the retry cap
 
   void merge(const WorkloadCounters& o) noexcept {
     submitted += o.submitted;
@@ -86,6 +102,8 @@ struct WorkloadCounters {
     coalesced += o.coalesced;
     refused += o.refused;
     shed += o.shed;
+    retries += o.retries;
+    failed += o.failed;
   }
   bool operator==(const WorkloadCounters&) const = default;
 };
@@ -98,6 +116,23 @@ struct ShardResult {
   std::uint64_t wall_ns = 0;    // shard wall time (never in deterministic_json)
   bool hit_step_budget = false;
   bool stalled = false;         // quiescent with live work and no way forward
+
+  // Recovery metrics, recorded only when the spec carries a fault plan.
+  // The fault span is [fault_first_begin, fault_last_end) on this shard's
+  // step clock; completions are bucketed by where their completion step
+  // falls relative to it (goodput during vs after the fault).
+  std::uint64_t fault_first_begin = 0;
+  std::uint64_t fault_last_end = 0;
+  std::uint64_t plan_digest = 0;
+  std::uint64_t completed_during_fault = 0;
+  std::uint64_t completed_after_fault = 0;
+  // Steps from the last window's close to the first completion of a session
+  // SUBMITTED at/after that close — the paper's snap-stabilization latency
+  // seen by the load generator. Valid iff `recovered`.
+  std::uint64_t first_success_after_fault = 0;
+  bool recovered = false;
+  // submit->Done latency of sessions submitted after the fault ceased.
+  LatencyHistogram recovery_hist;
 };
 
 struct LoadReport {

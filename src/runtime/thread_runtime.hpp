@@ -85,6 +85,9 @@ class ThreadRuntime {
                         int peer, const Value& value);
 
   const Mailbox& mailbox(int src, int dst) const;
+  // Mutable access for the fault engine's injection thread (mailboxes are
+  // internally synchronized; see fault::RuntimeInjector).
+  Mailbox& mailbox_mut(int src, int dst);
 
   // The runtime's StringPool (the constructing thread's current pool): all
   // node threads intern into and resolve against it, so observation values
@@ -101,7 +104,6 @@ class ThreadRuntime {
   class NodeContext;
 
   void thread_main(int p);
-  Mailbox& mailbox_mut(int src, int dst);
 
   sim::Topology topology_;
   int n_;

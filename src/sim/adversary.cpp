@@ -12,6 +12,7 @@ Adversary::StrikeReport Adversary::strike(Simulator& sim) {
     if (!rng_.chance(options_.process_probability)) continue;
     sim.process(p).randomize(rng_);
     ++report.processes_hit;
+    report.processes.push_back(p);
   }
   Network& net = sim.network();
   for (EdgeId e = 0; e < net.edge_count(); ++e) {
@@ -23,8 +24,24 @@ Adversary::StrikeReport Adversary::strike(Simulator& sim) {
     for (std::size_t i = 0; i < count; ++i)
       ch.push(Message::random(rng_, options_.flag_limit));
     ++report.channels_hit;
+    report.channels.push_back(e);
   }
   return report;
+}
+
+std::string Adversary::StrikeReport::summary() const {
+  std::string s = "struck processes=[";
+  for (std::size_t i = 0; i < processes.size(); ++i) {
+    if (i != 0) s += ' ';
+    s += std::to_string(processes[i]);
+  }
+  s += "] channels=[";
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    if (i != 0) s += ' ';
+    s += std::to_string(channels[i]);
+  }
+  s += ']';
+  return s;
 }
 
 }  // namespace snapstab::sim

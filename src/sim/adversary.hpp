@@ -11,6 +11,8 @@
 #define SNAPSTAB_SIM_ADVERSARY_HPP
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "sim/fuzz.hpp"
@@ -32,11 +34,17 @@ class Adversary {
   Adversary(std::uint64_t seed, AdversaryOptions options = {})
       : rng_(seed), options_(options) {}
 
-  // Applies one burst of corruption. Returns the number of processes and
-  // channels hit (diagnostics for the chaos suites).
+  // Applies one burst of corruption. Returns WHO was hit — the ids, not
+  // just the counts — so a failing chaos round can print exactly which
+  // processes/channels the strike corrupted.
   struct StrikeReport {
     int processes_hit = 0;
     int channels_hit = 0;
+    std::vector<ProcessId> processes;  // scrambled process ids
+    std::vector<EdgeId> channels;      // garbage-refilled edge ids
+    // "struck processes=[0 2] channels=[1 5 6]" — the chaos suites append
+    // this (plus the seed) to every failure message.
+    std::string summary() const;
   };
   StrikeReport strike(Simulator& sim);
 

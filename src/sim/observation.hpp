@@ -36,10 +36,11 @@ enum class ObsKind : std::uint8_t {
   CsExit,       // process left the critical section (ME)
   FwdSubmit,    // forwarding service accepted a payload (peer = destination)
   FwdDeliver,   // forwarding service delivered a payload (peer = origin)
+  Fault,        // a fault window opened on this process/edge (fault engine)
 };
 
 inline constexpr int kLayerCount = 5;
-inline constexpr int kObsKindCount = 9;
+inline constexpr int kObsKindCount = 10;
 
 // Exhaustive-switch constexpr name helpers: -Wswitch flags a missing
 // enumerator, the static_asserts force the counts to track the enums — a
@@ -58,7 +59,7 @@ constexpr const char* layer_name(Layer l) noexcept {
 }
 
 constexpr const char* obs_kind_name(ObsKind k) noexcept {
-  static_assert(kObsKindCount == static_cast<int>(ObsKind::FwdDeliver) + 1,
+  static_assert(kObsKindCount == static_cast<int>(ObsKind::Fault) + 1,
                 "new ObsKind: update kObsKindCount and every switch");
   switch (k) {
     case ObsKind::RequestWait: return "request";
@@ -70,6 +71,7 @@ constexpr const char* obs_kind_name(ObsKind k) noexcept {
     case ObsKind::CsExit: return "cs-exit";
     case ObsKind::FwdSubmit: return "fwd-submit";
     case ObsKind::FwdDeliver: return "fwd-deliver";
+    case ObsKind::Fault: return "fault";
   }
   return "?";
 }

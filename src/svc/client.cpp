@@ -99,8 +99,8 @@ bool Client::poll_all(const std::vector<Session>& sessions) {
   return all;
 }
 
-bool Client::run_until(const std::vector<Session>& sessions,
-                       AwaitOptions opts) {
+AwaitResult Client::await_all(const std::vector<Session>& sessions,
+                              AwaitOptions opts) {
   if (sim_ != nullptr) {
     // The stop predicate runs after every step (per opts.policy): resolve
     // each session's host(s) once up front so the hot loop is a phase check
@@ -139,19 +139,29 @@ bool Client::run_until(const std::vector<Session>& sessions,
       }
       return all;
     };
-    if (poll()) return true;
-    sim_->run(opts.max_steps, [&poll](sim::Simulator&) { return poll(); },
-              opts.policy);
-    return poll();
+    if (poll()) return AwaitResult::Done;
+    const sim::Simulator::StopReason reason = sim_->run(
+        opts.max_steps, [&poll](sim::Simulator&) { return poll(); },
+        opts.policy);
+    if (poll()) return AwaitResult::Done;
+    // Quiescent with sessions incomplete: no step is enabled, so no amount
+    // of budget can finish the batch (a stranded session — e.g. one whose
+    // in-flight computation a fault wiped — is the caller's to handle).
+    return reason == sim::Simulator::StopReason::Quiescent
+               ? AwaitResult::RuntimeDown
+               : AwaitResult::BudgetExhausted;
   }
   SNAPSTAB_CHECK(rt_ != nullptr);
   // ThreadRuntime::run is one-shot. A second await — typically a retry after
-  // a timeout returned false — must not trip that assertion: the runtime's
-  // threads are already live (or already joined), so one poll answers the
-  // question without spinning.
-  if (rt_->started()) return poll_all(sessions);
+  // a timeout — must not trip that assertion: the runtime's threads have
+  // already joined, so one poll answers the question, and an incomplete
+  // session can never complete on this runtime again.
+  if (rt_->started())
+    return poll_all(sessions) ? AwaitResult::Done : AwaitResult::RuntimeDown;
   return rt_->run([this, &sessions] { return poll_all(sessions); },
-                  opts.timeout);
+                  opts.timeout)
+             ? AwaitResult::Done
+             : AwaitResult::BudgetExhausted;
 }
 
 }  // namespace snapstab::svc

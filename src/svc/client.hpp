@@ -58,6 +58,29 @@ struct AwaitOptions {
   sim::StopPolicy policy{};                 // Simulator check cadence
 };
 
+// Terminal answer of a batch await. `BudgetExhausted` means more budget
+// could still finish the batch (steps remain enabled / threads still
+// running); `RuntimeDown` means no budget can — the Simulator went
+// quiescent with sessions incomplete, or the one-shot ThreadRuntime's
+// threads have already joined. The distinction matters on the ThreadRuntime
+// path, where the historic bool conflated "try a bigger timeout" with
+// "this runtime will never answer".
+enum class AwaitResult : std::uint8_t { Done, BudgetExhausted, RuntimeDown };
+
+inline constexpr int kAwaitResultCount = 3;
+
+constexpr const char* await_result_name(AwaitResult r) noexcept {
+  static_assert(kAwaitResultCount ==
+                    static_cast<int>(AwaitResult::RuntimeDown) + 1,
+                "new AwaitResult: update kAwaitResultCount and every switch");
+  switch (r) {
+    case AwaitResult::Done: return "done";
+    case AwaitResult::BudgetExhausted: return "budget-exhausted";
+    case AwaitResult::RuntimeDown: return "runtime-down";
+  }
+  return "?";
+}
+
 class Client {
  public:
   using CompletionFn = ServiceHost::CompletionFn;
@@ -82,10 +105,19 @@ class Client {
   // Recycles a completed session's host-side record (bulk drivers).
   void release(const Session& s);
 
-  // Batch-await: runs the backend until every session is Done (true) or
-  // the budget is exhausted (false). Simulator: deterministic, stop checked
-  // per `policy`. ThreadRuntime: one-shot, wall-clock bounded.
-  bool run_until(const std::vector<Session>& sessions, AwaitOptions opts = {});
+  // Batch-await with a terminal reason: runs the backend until every
+  // session is Done, the budget runs out, or the runtime can no longer make
+  // progress. Simulator: deterministic, stop checked per `policy`.
+  // ThreadRuntime: one-shot, wall-clock bounded; a second await on a
+  // started (joined) runtime polls instead of spinning.
+  AwaitResult await_all(const std::vector<Session>& sessions,
+                        AwaitOptions opts = {});
+
+  // Historic bool shim over await_all: true iff every session is Done.
+  bool run_until(const std::vector<Session>& sessions,
+                 AwaitOptions opts = {}) {
+    return await_all(sessions, opts) == AwaitResult::Done;
+  }
   bool run_until(std::initializer_list<Session> sessions,
                  AwaitOptions opts = {}) {
     return run_until(std::vector<Session>(sessions), opts);

@@ -321,6 +321,8 @@ ServiceHost::Submitted ServiceHost::submit(sim::ProcessId origin,
     const core::ForwardSubmit admission = fwd_->submit(d.payload, d.dst);
     rec.result.admission = admission;
     out.admission = admission;
+    if (admission != core::ForwardSubmit::Accepted)
+      ++degrade_.refusals_by_reason[static_cast<std::size_t>(admission)];
     out.wire_seq = rec.wire_seq;
     if (admission == core::ForwardSubmit::Accepted) {
       rec.phase = SessionRec::Phase::Active;
@@ -534,6 +536,43 @@ void ServiceHost::randomize(Rng& rng) {
   if (snapshot_ != nullptr) snapshot_->randomize(rng);
   if (detect_ != nullptr) detect_->randomize(rng);
   if (fwd_ != nullptr) fwd_->randomize(rng);
+}
+
+void ServiceHost::crash_restart(Rng& rng) {
+  randomize(rng);
+  ++degrade_.crashes;
+  // Fail every live session. All host bookkeeping is mutated BEFORE any
+  // callback fires: a completion callback may reentrantly submit or release,
+  // reallocating the slot arena mid-iteration.
+  struct Killed {
+    CompletionFn cb;
+    SessionKey key;
+    SessionResult result;
+  };
+  std::vector<Killed> killed;
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    SessionRec& rec = slots_[slot];
+    const auto it = by_seq_.find(rec.seq);
+    if (it == by_seq_.end() || it->second != slot) continue;  // free slot
+    if (rec.phase == SessionRec::Phase::Done) continue;
+    rec.phase = SessionRec::Phase::Done;
+    rec.result.completed = false;
+    ++degrade_.sessions_killed;
+    if (rec.on_complete) {
+      Killed k;
+      k.cb = std::move(rec.on_complete);
+      rec.on_complete = nullptr;
+      k.key = SessionKey{origin_, rec.desc.service, rec.seq};
+      k.result = rec.result;
+      killed.push_back(std::move(k));
+    }
+  }
+  pending_.clear();
+  pending_n_ = 0;
+  queued_by_desc_.clear();
+  stack_active_ = -1;
+  deliveries_.clear();
+  for (Killed& k : killed) k.cb(k.key, k.result);
 }
 
 Value ServiceHost::on_brd(sim::Context& ctx, int ch, const Value& b) {

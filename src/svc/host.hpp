@@ -27,6 +27,7 @@
 #ifndef SNAPSTAB_SVC_HOST_HPP
 #define SNAPSTAB_SVC_HOST_HPP
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -147,6 +148,24 @@ class ServiceHost : public sim::Process {
   int session_count() const noexcept { return static_cast<int>(by_seq_.size()); }
   int pending_count() const noexcept { return pending_n_; }
 
+  // --- graceful degradation (the fault engine's host-side view) ----------
+  struct Degrade {
+    // Forward admissions refused, indexed by core::ForwardSubmit ordinal
+    // (the Accepted slot stays zero).
+    std::array<std::uint64_t, core::kForwardSubmitCount> refusals_by_reason{};
+    std::uint64_t sessions_killed = 0;  // live sessions failed by a crash
+    std::uint64_t crashes = 0;          // crash_restart() applications
+  };
+  const Degrade& degrade() const noexcept { return degrade_; }
+
+  // The fault engine's process crash-restart: scrambles the protocol stack
+  // exactly like randomize() AND fails every live session (phase Done,
+  // completed = false, completion callbacks fire — the no-silent-hangs
+  // contract), drops the pending queue and any un-consumed forward
+  // deliveries. A restarted process has no session memory; the driver
+  // (svc::Supervisor, load::Workload) owns the retry.
+  void crash_restart(Rng& rng);
+
   // --- layer accessors (the historic wrapper surface) --------------------
   core::Pif& pif() { return checked(pif_); }
   const core::Pif& pif() const { return checked(pif_); }
@@ -254,6 +273,7 @@ class ServiceHost : public sim::Process {
   int pending_n_ = 0;
   bool record_deliveries_ = false;
   std::vector<Delivery> deliveries_;      // ForwardMsg: what arrived here
+  Degrade degrade_;
 };
 
 // Builds a world of ServiceHosts over `topology`, one per node, each

@@ -1,0 +1,209 @@
+#include "svc/supervisor.hpp"
+
+// Context method bodies (the sealed sim fast path) are inline in
+// sim/simulator.hpp; every TU calling them must see the definitions.
+#include "sim/simulator.hpp"
+
+#include "common/check.hpp"
+
+namespace snapstab::svc {
+
+Supervisor::Supervisor(Client& client, SuperviseOptions options)
+    : client_(&client),
+      opts_(options),
+      rng_(options.seed ^ 0x5A5A5A5A5A5A5A5Aull),
+      start_(std::chrono::steady_clock::now()) {
+  SNAPSTAB_CHECK_MSG(opts_.attempt_deadline >= 1,
+                     "a zero attempt deadline expires every attempt at birth");
+  SNAPSTAB_CHECK_MSG(opts_.retry_budget >= 0, "retry budget must be >= 0");
+}
+
+std::uint64_t Supervisor::now() const {
+  if (client_->simulator() != nullptr) return client_->simulator()->step_count();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+std::uint64_t Supervisor::backoff_delay(int attempts_so_far) {
+  // Exponential in the number of attempts, clamped, with uniform jitter in
+  // the upper half — the classic decorrelation against retry stampedes,
+  // drawn from the supervisor's own stream so replay is exact.
+  const int shift = attempts_so_far > 16 ? 16 : attempts_so_far - 1;
+  std::uint64_t base = opts_.backoff_base << shift;
+  if (base > opts_.backoff_max) base = opts_.backoff_max;
+  return base / 2 + rng_.below(base / 2 + 1);
+}
+
+Supervisor::Ticket Supervisor::supervise_desc(sim::ProcessId origin,
+                                              const Descriptor& d) {
+  Rec rec;
+  rec.desc = d;
+  rec.origin = origin;
+  rec.session = client_->submit_desc(origin, d);
+  rec.attempts = 1;
+  rec.st = St::Flying;
+  rec.deadline = now() + opts_.attempt_deadline;
+  recs_.push_back(std::move(rec));
+  ++live_;
+  return Ticket{static_cast<std::uint32_t>(recs_.size() - 1)};
+}
+
+void Supervisor::resubmit(Rec& rec) {
+  rec.session = client_->submit_desc(rec.origin, rec.desc);
+  ++rec.attempts;
+  ++stats_.resubmits;
+  rec.st = St::Flying;
+  rec.deadline = now() + opts_.attempt_deadline;
+}
+
+void Supervisor::settle(Rec& rec, SessionOutcome o) {
+  rec.st = St::Terminal;
+  rec.outcome = o;
+  --live_;
+  switch (o) {
+    case SessionOutcome::Ok: ++stats_.ok; break;
+    case SessionOutcome::Refused: ++stats_.refused; break;
+    case SessionOutcome::Expired: ++stats_.expired; break;
+    case SessionOutcome::GaveUp: ++stats_.gave_up; break;
+  }
+}
+
+void Supervisor::fail_over(Rec& rec, std::uint64_t now_t) {
+  if (rec.attempts >= 1 + opts_.retry_budget) {
+    // Out of attempts: classify. A deadline on the last attempt reads as
+    // Expired; otherwise pure-refusal histories read as backpressure.
+    if (rec.last_was_deadline)
+      settle(rec, SessionOutcome::Expired);
+    else if (rec.non_refusal_failure)
+      settle(rec, SessionOutcome::GaveUp);
+    else
+      settle(rec, SessionOutcome::Refused);
+    return;
+  }
+  rec.st = St::Backoff;
+  rec.resume_at = now_t + backoff_delay(rec.attempts);
+}
+
+bool Supervisor::pump() {
+  if (on_pump_) on_pump_();
+  if (live_ == 0) return true;
+  const std::uint64_t t = now();
+  for (std::size_t i = 0; i < recs_.size(); ++i) {
+    Rec& rec = recs_[i];
+    if (rec.st == St::Terminal) continue;
+    if (rec.st == St::Backoff) {
+      if (t >= rec.resume_at) resubmit(rec);
+      continue;
+    }
+    // Flying.
+    if (client_->state(rec.session) == SessionState::Done) {
+      rec.result = client_->result(rec.session);
+      client_->release(rec.session);
+      if (rec.result.completed) {
+        settle(rec, SessionOutcome::Ok);
+        continue;
+      }
+      // Failed attempt: an admission refusal keeps the pure-refusal
+      // classification; anything else (killed by a crash-restart) taints it.
+      if (rec.result.admission == ForwardSubmit::Accepted)
+        rec.non_refusal_failure = true;
+      rec.last_was_deadline = false;
+      fail_over(rec, t);
+      continue;
+    }
+    if (t >= rec.deadline) {
+      ++stats_.deadline_hits;
+      rec.non_refusal_failure = true;
+      rec.last_was_deadline = true;
+      // The expired attempt is abandoned, not released: it may still be In
+      // on the host, and a ghost completion later is harmless — the
+      // supervisor has forgotten the key.
+      fail_over(rec, t);
+    }
+  }
+  return live_ == 0;
+}
+
+void Supervisor::force_settle() {
+  // No more backend progress is possible. Expire flying attempts and drain
+  // backoffs immediately; each round either settles a ticket or consumes
+  // one attempt, so this terminates within retry_budget + 1 rounds.
+  while (live_ > 0) {
+    const std::uint64_t t = now();
+    for (Rec& rec : recs_) {
+      if (rec.st == St::Flying && rec.deadline > t) rec.deadline = t;
+      if (rec.st == St::Backoff && rec.resume_at > t) rec.resume_at = t;
+    }
+    pump();
+  }
+}
+
+bool Supervisor::run_all(AwaitOptions opts) {
+  sim::Simulator* sim = client_->simulator();
+  if (sim != nullptr) {
+    if (pump()) return true;
+    const std::uint64_t start_steps = sim->step_count();
+    while (live_ > 0) {
+      const std::uint64_t used = sim->step_count() - start_steps;
+      if (used >= opts.max_steps) {
+        force_settle();
+        return false;
+      }
+      const sim::Simulator::StopReason reason =
+          sim->run(opts.max_steps - used,
+                   [this](sim::Simulator&) { return pump(); }, opts.policy);
+      if (live_ == 0) return true;
+      if (reason == sim::Simulator::StopReason::BudgetExhausted) {
+        force_settle();
+        return false;
+      }
+      // Quiescent: no step is enabled, so step-time cannot advance and
+      // pending timers would never fire. Fast-forward backoff timers (their
+      // resubmissions re-enable the world); if none were pending, every
+      // flying attempt is stranded — expire it now. Each pass consumes
+      // attempts, so the loop terminates.
+      bool any_backoff = false;
+      for (Rec& rec : recs_) {
+        if (rec.st == St::Backoff) {
+          rec.resume_at = now();
+          any_backoff = true;
+        }
+      }
+      if (!any_backoff)
+        for (Rec& rec : recs_)
+          if (rec.st == St::Flying) rec.deadline = now();
+      if (pump()) return true;
+    }
+    return true;
+  }
+  SNAPSTAB_CHECK(client_->thread_runtime() != nullptr);
+  runtime::ThreadRuntime* rt = client_->thread_runtime();
+  if (pump()) return true;
+  if (!rt->started() && rt->run([this] { return pump(); }, opts.timeout))
+    return true;
+  // Timed out, or the one-shot runtime had already run: nothing will make
+  // further progress. Settle every live ticket (Expired / GaveUp / Refused)
+  // so the caller still gets terminal outcomes, and report the budget loss.
+  force_settle();
+  return false;
+}
+
+bool Supervisor::terminal(Ticket t) const {
+  return recs_[t.id].st == St::Terminal;
+}
+
+SessionOutcome Supervisor::outcome(Ticket t) const {
+  SNAPSTAB_CHECK_MSG(recs_[t.id].st == St::Terminal,
+                     "outcome() before the ticket is terminal");
+  return recs_[t.id].outcome;
+}
+
+const SessionResult& Supervisor::result(Ticket t) const {
+  return recs_[t.id].result;
+}
+
+int Supervisor::attempts(Ticket t) const { return recs_[t.id].attempts; }
+
+}  // namespace snapstab::svc

@@ -1,0 +1,151 @@
+// supervisor.hpp — per-session deadlines, retries and terminal outcomes.
+//
+// A Supervisor wraps svc::Client with the driver-side recovery discipline
+// the fault engine requires: every supervised request gets a per-attempt
+// deadline (engine steps on the Simulator backend, wall milliseconds on the
+// ThreadRuntime), a retry budget with seeded exponential backoff, and a
+// guaranteed *terminal* SessionOutcome — Ok, Refused, Expired or GaveUp —
+// instead of a silent hang. That is the snap-stabilization contract seen
+// from the client's chair: a request caught by a transient fault may fail,
+// but it fails *visibly*, and a fresh attempt issued after the fault ceases
+// succeeds.
+//
+// Determinism: the supervisor draws backoff jitter only from its own seeded
+// stream, and on the Simulator backend measures time purely in steps — the
+// same (world seed, plan, supervisor seed) replays bit-identically.
+#ifndef SNAPSTAB_SVC_SUPERVISOR_HPP
+#define SNAPSTAB_SVC_SUPERVISOR_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "svc/client.hpp"
+
+namespace snapstab::svc {
+
+// Terminal answer for one supervised request.
+enum class SessionOutcome : std::uint8_t {
+  Ok,       // an attempt completed with result.completed == true
+  Refused,  // every failed attempt was an admission refusal (backpressure)
+  Expired,  // the final attempt hit its deadline (still In/Wait, abandoned)
+  GaveUp,   // retry budget exhausted on non-refusal failures (e.g. killed
+            // by a crash-restart window)
+};
+
+inline constexpr int kSessionOutcomeCount = 4;
+
+constexpr const char* session_outcome_name(SessionOutcome o) noexcept {
+  static_assert(kSessionOutcomeCount ==
+                    static_cast<int>(SessionOutcome::GaveUp) + 1,
+                "new SessionOutcome: update kSessionOutcomeCount and every "
+                "switch");
+  switch (o) {
+    case SessionOutcome::Ok: return "ok";
+    case SessionOutcome::Refused: return "refused";
+    case SessionOutcome::Expired: return "expired";
+    case SessionOutcome::GaveUp: return "gave-up";
+  }
+  return "?";
+}
+
+struct SuperviseOptions {
+  // Per-attempt deadline and backoff pacing, in the backend's clock units:
+  // engine steps (Simulator) or milliseconds (ThreadRuntime).
+  std::uint64_t attempt_deadline = 50'000;
+  int retry_budget = 3;  // resubmissions allowed after the initial attempt
+  std::uint64_t backoff_base = 64;
+  std::uint64_t backoff_max = 1u << 16;
+  std::uint64_t seed = 0x5EED;  // jitter stream
+};
+
+class Supervisor {
+ public:
+  struct Ticket {
+    std::uint32_t id = 0;
+  };
+
+  explicit Supervisor(Client& client, SuperviseOptions options = {});
+
+  // Submits the request immediately and starts supervising it.
+  template <typename D>
+  Ticket supervise(sim::ProcessId origin, const D& d) {
+    return supervise_desc(origin, Descriptor::of(d));
+  }
+  Ticket supervise_desc(sim::ProcessId origin, const Descriptor& d);
+
+  // One supervision pass: polls every live ticket, fails over expired and
+  // killed attempts (resubmit after seeded exponential backoff, within the
+  // retry budget), settles terminal outcomes. Returns true when every
+  // ticket is terminal. Cheap when nothing is live.
+  bool pump();
+
+  bool terminal(Ticket t) const;
+  // Valid once terminal(t); the last attempt's result alongside.
+  SessionOutcome outcome(Ticket t) const;
+  const SessionResult& result(Ticket t) const;
+  int attempts(Ticket t) const;
+
+  // Drives the backend until every ticket is terminal, pump()ing from the
+  // stop predicate. Simulator: quiescent spells (backoff timers pending
+  // while no step is enabled) fast-forward deterministically, and flying
+  // attempts that can never finish are expired — so this always terminates
+  // with every ticket settled. Returns false when the step/wall budget
+  // forced the settlement rather than the protocol finishing.
+  bool run_all(AwaitOptions opts = {});
+
+  // Called at the start of every pump(): the fault tests chain the
+  // Injector's poll here without coupling svc to the fault engine.
+  void set_on_pump(std::function<void()> hook) { on_pump_ = std::move(hook); }
+
+  struct Stats {
+    std::uint64_t resubmits = 0;
+    std::uint64_t deadline_hits = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t refused = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t gave_up = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+  int live() const noexcept { return live_; }
+
+ private:
+  enum class St : std::uint8_t { Flying, Backoff, Terminal };
+  struct Rec {
+    Descriptor desc;
+    sim::ProcessId origin = -1;
+    Session session;
+    St st = St::Flying;
+    std::uint64_t deadline = 0;   // Flying: expire the attempt at this time
+    std::uint64_t resume_at = 0;  // Backoff: resubmit at this time
+    int attempts = 0;
+    bool non_refusal_failure = false;  // saw a killed / failed attempt
+    bool last_was_deadline = false;
+    SessionOutcome outcome = SessionOutcome::Ok;
+    SessionResult result;
+  };
+
+  std::uint64_t now() const;
+  std::uint64_t backoff_delay(int attempts_so_far);
+  void resubmit(Rec& rec);
+  void fail_over(Rec& rec, std::uint64_t now_t);
+  void settle(Rec& rec, SessionOutcome o);
+  // Forces every live ticket to a terminal outcome (no more progress is
+  // possible: budget exhausted, runtime down). Bounded by the retry budget.
+  void force_settle();
+
+  Client* client_;
+  SuperviseOptions opts_;
+  Rng rng_;
+  std::vector<Rec> recs_;
+  int live_ = 0;
+  std::function<void()> on_pump_;
+  std::chrono::steady_clock::time_point start_;
+  Stats stats_;
+};
+
+}  // namespace snapstab::svc
+
+#endif  // SNAPSTAB_SVC_SUPERVISOR_HPP

@@ -14,8 +14,12 @@
 
 #include "core/forward_world.hpp"
 #include "core/stack.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "sim/fuzz.hpp"
 #include "sim/simulator.hpp"
+#include "svc/client.hpp"
+#include "svc/host.hpp"
 
 namespace snapstab::golden {
 
@@ -143,6 +147,53 @@ inline std::unique_ptr<sim::Simulator> run_fwd_ring() {
   return sim;
 }
 
+// Crash-restart mid-PIF through the fault engine: a one-window FaultPlan
+// scrambles a ServiceHost (killing its live session visibly) while a
+// broadcast is in flight on ring(4); after the window closes a fresh
+// request completes — locks the injector's fault observation, the
+// crash-kill callback path, and post-fault recovery, bit for bit.
+inline std::unique_ptr<sim::Simulator> run_pif_crash_restart() {
+  const sim::Topology topo = sim::Topology::ring(4);
+  auto sim = svc::service_world(topo, 1, /*seed=*/19, [](sim::ProcessId p) {
+    svc::HostConfig cfg;
+    cfg.id = p + 1;
+    return cfg;
+  });
+  sim->set_scheduler(std::make_unique<sim::RandomScheduler>(19));
+  svc::Client client(*sim);
+
+  // A single crash window pinned over the opening steps, so it is open
+  // while the mid-fault broadcast is in flight.
+  fault::FaultPlanSpec fs;
+  fs.seed = 19;
+  fs.horizon = 40;
+  fs.min_len = 80;
+  fs.max_len = 160;
+  fs.crash_windows = 1;
+  const fault::FaultPlan plan = fault::FaultPlan::compile(fs, topo);
+  fault::Injector injector(plan);
+
+  // Mid-fault submission: the window's crash-restarts may kill it; either
+  // way its terminal state is part of the locked trace. Drain the whole
+  // schedule (quiescent spells get a wake-up probe) before phase two.
+  client.submit(0, svc::PifBroadcast{Value::integer(777)});
+  int guard = 0;
+  while (!injector.done() && ++guard < 100) {
+    const auto reason = sim->run(2'000, [&](sim::Simulator& s) {
+      injector.poll(s);
+      return injector.done();
+    });
+    if (reason == sim::Simulator::StopReason::Quiescent)
+      client.submit(3, svc::PifBroadcast{Value::integer(700 + guard)});
+  }
+  // The fault has ceased: the post-fault request must run to completion.
+  const svc::Session post =
+      client.submit(1, svc::PifBroadcast{Value::integer(888)});
+  sim->run(50'000,
+           [&](sim::Simulator&) { return client.done(post); });
+  return sim;
+}
+
 inline const std::vector<Scenario>& scenarios() {
   static const std::vector<Scenario> kScenarios = {
       {"pif_n4_rand_seed7.log", run_pif_rand},
@@ -151,6 +202,7 @@ inline const std::vector<Scenario>& scenarios() {
       {"pif_n4_fuzz_seed13.log", run_pif_fuzz},
       {"me_n3_rand_seed5.log", run_me_stack},
       {"fwd_ring_n5_seed17.log", run_fwd_ring},
+      {"pif_crash_restart_seed19.log", run_pif_crash_restart},
   };
   return kScenarios;
 }

@@ -7,6 +7,7 @@
 // timeline renderer and the adversary itself.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <set>
 
@@ -23,6 +24,18 @@ using core::IdlProcess;
 using core::MeStackProcess;
 using core::PifProcess;
 using sim::Simulator;
+
+// The chaos soak: SNAPSTAB_CHAOS_EXTRA_SEEDS=<k> appends k extra seeds
+// after `base` to a campaign's seed list (the CI Release job sets 32).
+std::vector<std::uint64_t> campaign_seeds(std::vector<std::uint64_t> base) {
+  if (const char* extra = std::getenv("SNAPSTAB_CHAOS_EXTRA_SEEDS")) {
+    const long k = std::strtol(extra, nullptr, 10);
+    const std::uint64_t from = base.back();
+    for (long i = 1; i <= k; ++i)
+      base.push_back(from + static_cast<std::uint64_t>(i));
+  }
+  return base;
+}
 
 TEST(Adversary, StrikeHitsRoughlyTheConfiguredFraction) {
   Simulator sim(8, 1, 1);
@@ -41,6 +54,32 @@ TEST(Adversary, StrikeHitsRoughlyTheConfiguredFraction) {
   EXPECT_EQ(adversary.strikes(), static_cast<std::uint64_t>(strikes));
   EXPECT_NEAR(static_cast<double>(processes) / (strikes * 8), 0.5, 0.05);
   EXPECT_NEAR(static_cast<double>(channels) / (strikes * 56), 0.25, 0.05);
+}
+
+TEST(Adversary, StrikeReportNamesEveryVictim) {
+  Simulator sim(6, 1, 4);
+  for (int i = 0; i < 6; ++i)
+    sim.add_process(std::make_unique<PifProcess>(5, 1));
+  sim::Adversary adversary(9, {.process_probability = 0.5,
+                               .channel_probability = 0.5});
+  const auto report = adversary.strike(sim);
+  // The id lists ARE the counts: same cardinality, valid, strictly
+  // ascending (the strike scans ids in order).
+  ASSERT_EQ(static_cast<int>(report.processes.size()), report.processes_hit);
+  ASSERT_EQ(static_cast<int>(report.channels.size()), report.channels_hit);
+  for (std::size_t i = 0; i < report.processes.size(); ++i) {
+    EXPECT_GE(report.processes[i], 0);
+    EXPECT_LT(report.processes[i], 6);
+    if (i > 0) EXPECT_LT(report.processes[i - 1], report.processes[i]);
+  }
+  for (std::size_t i = 0; i < report.channels.size(); ++i) {
+    EXPECT_GE(report.channels[i], 0);
+    EXPECT_LT(report.channels[i], sim.network().edge_count());
+    if (i > 0) EXPECT_LT(report.channels[i - 1], report.channels[i]);
+  }
+  const std::string s = report.summary();
+  EXPECT_NE(s.find("struck processes=["), std::string::npos) << s;
+  EXPECT_NE(s.find("channels=["), std::string::npos) << s;
 }
 
 TEST(Adversary, RespectsChannelCapacity) {
@@ -68,7 +107,7 @@ TEST_P(PifChaos, EveryPostStrikeRequestServedCorrectly) {
   sim::Adversary adversary(seed + 2);
 
   for (int round = 0; round < 15; ++round) {
-    adversary.strike(sim);
+    const auto report = adversary.strike(sim);
     const Value payload = Value::integer(9'000'000 + round);
     const std::size_t log_mark = sim.log().events().size();
     core::request_pif(sim, round % n, payload);
@@ -76,7 +115,8 @@ TEST_P(PifChaos, EveryPostStrikeRequestServedCorrectly) {
       return s.process_as<PifProcess>(round % n).pif().done();
     });
     ASSERT_EQ(reason, Simulator::StopReason::Predicate)
-        << "round " << round << " did not terminate";
+        << "seed " << seed << " round " << round << " did not terminate; "
+        << report.summary();
     // The post-strike request reached every peer. At least n-1 receive-brd
     // events: the paper explicitly permits *additional* unexpected events
     // ("our protocol does not prevent processes to generate unexpected
@@ -89,7 +129,8 @@ TEST_P(PifChaos, EveryPostStrikeRequestServedCorrectly) {
       if (events[i].kind == sim::ObsKind::RecvBrd &&
           events[i].value == payload)
         reached.insert(events[i].process);
-    EXPECT_EQ(static_cast<int>(reached.size()), n - 1) << "round " << round;
+    EXPECT_EQ(static_cast<int>(reached.size()), n - 1)
+        << "seed " << seed << " round " << round << "; " << report.summary();
 
     // Channel conservation after every strike/serve cycle: everything the
     // channels accepted was delivered, adversary-dropped, cleared by a
@@ -99,12 +140,13 @@ TEST_P(PifChaos, EveryPostStrikeRequestServedCorrectly) {
     ASSERT_EQ(stats.pushed,
               stats.popped + stats.dropped + stats.cleared +
                   sim.network().total_messages_in_flight())
-        << "round " << round;
+        << "seed " << seed << " round " << round << "; " << report.summary();
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PifChaos,
-                         ::testing::Values(1ull, 2ull, 3ull, 4ull));
+                         ::testing::ValuesIn(campaign_seeds(
+                             {1ull, 2ull, 3ull, 4ull})));
 
 class IdlChaos : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -120,20 +162,22 @@ TEST_P(IdlChaos, LearnsExactTablesAfterEveryStrike) {
   sim::Adversary adversary(seed + 2);
 
   for (int round = 0; round < 10; ++round) {
-    adversary.strike(sim);
+    const auto report = adversary.strike(sim);
     const int initiator = round % n;
     core::request_idl(sim, initiator);
     const auto reason = sim.run(500'000, [initiator](Simulator& s) {
       return s.process_as<IdlProcess>(initiator).idl().done();
     });
-    ASSERT_EQ(reason, Simulator::StopReason::Predicate) << "round " << round;
+    ASSERT_EQ(reason, Simulator::StopReason::Predicate)
+        << "seed " << seed << " round " << round << "; " << report.summary();
     EXPECT_EQ(sim.process_as<IdlProcess>(initiator).idl().min_id(), 20)
-        << "round " << round;
+        << "seed " << seed << " round " << round << "; " << report.summary();
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IdlChaos,
-                         ::testing::Values(11ull, 12ull, 13ull));
+                         ::testing::ValuesIn(campaign_seeds(
+                             {11ull, 12ull, 13ull})));
 
 class MeChaos : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -157,7 +201,7 @@ TEST_P(MeChaos, ExclusionSurvivesRepeatedStrikes) {
         if (sim.process_as<MeStackProcess>(p).me().in_cs()) any_in_cs = true;
       if (any_in_cs) sim.run(500);
     }
-    adversary.strike(sim);
+    const auto report = adversary.strike(sim);
     // Clear any fuzz-planted ghost CS so the round is well-defined.
     for (int p = 0; p < n; ++p)
       sim.process_as<MeStackProcess>(p).me().mutable_state().cs_remaining = 0;
@@ -174,7 +218,8 @@ TEST_P(MeChaos, ExclusionSurvivesRepeatedStrikes) {
       return s.process_as<MeStackProcess>(requester).me().request_state() ==
              core::RequestState::Done;
     });
-    ASSERT_EQ(reason, Simulator::StopReason::Predicate) << "round " << round;
+    ASSERT_EQ(reason, Simulator::StopReason::Predicate)
+        << "seed " << seed << " round " << round << "; " << report.summary();
     // The requested CS of this round did not overlap any other CS.
     const auto& events = sim.log().events();
     bool requested_entered = false;
@@ -183,7 +228,8 @@ TEST_P(MeChaos, ExclusionSurvivesRepeatedStrikes) {
           events[i].kind == sim::ObsKind::CsEnter &&
           events[i].value.as_int() == 1)
         requested_entered = true;
-    EXPECT_TRUE(requested_entered) << "round " << round;
+    EXPECT_TRUE(requested_entered)
+        << "seed " << seed << " round " << round << "; " << report.summary();
   }
   const auto report = core::check_me_spec(sim, {.require_liveness = false});
   EXPECT_TRUE(report.ok()) << report.summary();

@@ -1,0 +1,457 @@
+// test_fault.cpp — the fault engine end to end: deterministic plans, the
+// simulator-side Injector, host crash-restart, the client-side Supervisor,
+// and the chaos acceptance suite.
+//
+// The acceptance contract is the paper's snap-stabilization statement read
+// through the fault engine: sessions caught inside fault windows reach a
+// *terminal* outcome (never a silent hang), sessions submitted at or after
+// the last window's close complete correctly, and the same (seed, plan)
+// replays bit-identically — any failure prints the one-line repro
+// (plan.repro_line()) that pins the schedule it executed.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "sim/simulator.hpp"
+#include "svc/client.hpp"
+#include "svc/host.hpp"
+#include "svc/supervisor.hpp"
+
+namespace snapstab::fault {
+namespace {
+
+using sim::Simulator;
+
+sim::Topology make_topo(const std::string& name, int n, std::uint64_t seed) {
+  if (name == "ring") return sim::Topology::ring(n);
+  if (name == "complete") return sim::Topology::complete(n);
+  return sim::Topology::random_tree(n, seed);
+}
+
+std::unique_ptr<Simulator> pif_world(const sim::Topology& topo,
+                                     std::uint64_t seed) {
+  auto sim = svc::service_world(topo, 1, seed, [](sim::ProcessId p) {
+    svc::HostConfig cfg;
+    cfg.id = p + 1;
+    return cfg;
+  });
+  sim->set_scheduler(std::make_unique<sim::RandomScheduler>(seed + 1));
+  return sim;
+}
+
+// The chaos campaign's plan shape: every fault kind, windows dense enough
+// to overlap, all inside a short horizon so each test drains it.
+FaultPlanSpec chaos_spec(std::uint64_t seed) {
+  FaultPlanSpec fs;
+  fs.seed = seed;
+  fs.horizon = 4'000;
+  fs.min_len = 100;
+  fs.max_len = 600;
+  fs.crash_windows = 2;
+  fs.garbage_windows = 2;
+  fs.loss_windows = 1;
+  fs.duplicate_windows = 1;
+  fs.partition_windows = 1;
+  return fs;
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Order-sensitive digest over every observation the run emitted — the
+// replay pin's notion of "bit-identical".
+std::uint64_t log_digest(const Simulator& sim) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const auto& e : sim.log().events()) {
+    h = fnv_mix(h, e.step);
+    h = fnv_mix(h, static_cast<std::uint64_t>(e.process));
+    h = fnv_mix(h, static_cast<std::uint64_t>(e.layer));
+    h = fnv_mix(h, static_cast<std::uint64_t>(e.kind));
+    h = fnv_mix(h, static_cast<std::uint64_t>(e.peer));
+    h = fnv_mix(h, static_cast<std::uint64_t>(e.value.as_int(-1)));
+    if (e.value.is_text())
+      for (const char c : e.value.as_text())
+        h = fnv_mix(h, static_cast<unsigned char>(c));
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan: pure compilation, bounds, ordering, repro line.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, CompileIsAPureFunctionOfSpecAndTopology) {
+  const sim::Topology topo = sim::Topology::ring(8);
+  const FaultPlanSpec spec = chaos_spec(42);
+  const FaultPlan a = FaultPlan::compile(spec, topo);
+  const FaultPlan b = FaultPlan::compile(spec, topo);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.windows().size(), b.windows().size());
+  EXPECT_EQ(a.repro_line(), b.repro_line());
+
+  FaultPlanSpec other = spec;
+  other.seed = 43;
+  const FaultPlan c = FaultPlan::compile(other, topo);
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(FaultPlan, WindowsRespectSpecBoundsAndEventsAreSorted) {
+  const sim::Topology topo = sim::Topology::ring(8);
+  const FaultPlanSpec spec = chaos_spec(7);
+  const FaultPlan plan = FaultPlan::compile(spec, topo);
+  ASSERT_EQ(static_cast<int>(plan.windows().size()), spec.total_windows());
+  for (const FaultWindow& w : plan.windows()) {
+    EXPECT_LT(w.begin, spec.horizon);
+    EXPECT_GE(w.end - w.begin, spec.min_len);
+    EXPECT_LE(w.end - w.begin, spec.max_len);
+    EXPECT_LE(w.end, plan.last_end());
+    EXPECT_GE(w.begin, plan.first_begin());
+    if (w.kind == FaultKind::CrashRestart) {
+      EXPECT_GE(w.process, 0);
+      EXPECT_LT(w.process, 8);
+    }
+    if (w.kind == FaultKind::ChannelGarbage || w.kind == FaultKind::EdgeLoss ||
+        w.kind == FaultKind::EdgeDuplicate) {
+      EXPECT_GE(w.edge, 0);
+      EXPECT_LT(w.edge, topo.edge_count());
+    }
+    if (w.kind == FaultKind::LinkPartition) {
+      // A real cut: neither side empty over the 8 processes.
+      const std::uint64_t mask = w.partition_mask & 0xffull;
+      EXPECT_NE(mask, 0u);
+      EXPECT_NE(mask, 0xffull);
+    }
+  }
+  // One open and one close per window, sorted on the step clock.
+  ASSERT_EQ(plan.events().size(), plan.windows().size() * 2);
+  for (std::size_t i = 1; i < plan.events().size(); ++i)
+    EXPECT_LE(plan.events()[i - 1].step, plan.events()[i].step);
+}
+
+TEST(FaultPlan, AllZeroSpecCompilesInert) {
+  const sim::Topology topo = sim::Topology::ring(4);
+  const FaultPlan plan = FaultPlan::compile(FaultPlanSpec{}, topo);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.last_end(), 0u);
+
+  auto sim = pif_world(topo, 1);
+  Injector inj(plan);
+  EXPECT_TRUE(inj.done());
+  EXPECT_EQ(inj.poll(*sim), 0);
+  EXPECT_EQ(sim->log().events().size(), 0u);
+}
+
+TEST(FaultPlan, ReproLinePinsSeedAndDigest) {
+  const FaultPlan plan =
+      FaultPlan::compile(chaos_spec(99), sim::Topology::ring(6));
+  const std::string line = plan.repro_line();
+  EXPECT_NE(line.find("seed=99"), std::string::npos) << line;
+  EXPECT_NE(line.find("plan-digest="), std::string::npos) << line;
+  char digest_hex[32];
+  std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                static_cast<unsigned long long>(plan.digest()));
+  EXPECT_NE(line.find(digest_hex), std::string::npos) << line;
+}
+
+TEST(FaultPlan, KindAndOutcomeNamesAreExhaustive) {
+  EXPECT_STREQ(fault_kind_name(FaultKind::CrashRestart), "crash-restart");
+  EXPECT_STREQ(fault_kind_name(FaultKind::LinkPartition), "link-partition");
+  EXPECT_STREQ(svc::session_outcome_name(svc::SessionOutcome::Ok), "ok");
+  EXPECT_STREQ(svc::session_outcome_name(svc::SessionOutcome::GaveUp),
+               "gave-up");
+  EXPECT_STREQ(sim::obs_kind_name(sim::ObsKind::Fault), "fault");
+}
+
+// ---------------------------------------------------------------------------
+// Injector: observations, host crash dispatch, degradation counters.
+// ---------------------------------------------------------------------------
+
+TEST(Injector, EmitsOneFaultObservationPerWindowOpen) {
+  const sim::Topology topo = sim::Topology::ring(6);
+  const FaultPlanSpec spec = chaos_spec(5);
+  const FaultPlan plan = FaultPlan::compile(spec, topo);
+  auto sim = pif_world(topo, 5);
+  svc::Client client(*sim);
+  Injector inj(plan);
+  int guard = 0;
+  while (!inj.done() && ++guard < 1'000) {
+    const auto reason = sim->run(1'024, [&](Simulator& s) {
+      inj.poll(s);
+      return inj.done();
+    });
+    if (reason == Simulator::StopReason::Quiescent)
+      client.submit(0, svc::PifBroadcast{Value::integer(1'000 + guard)});
+  }
+  ASSERT_TRUE(inj.done()) << plan.repro_line();
+  int fault_obs = 0;
+  for (const auto& e : sim->log().events())
+    if (e.kind == sim::ObsKind::Fault) ++fault_obs;
+  EXPECT_EQ(fault_obs, spec.total_windows()) << plan.repro_line();
+  const auto& c = inj.counters();
+  EXPECT_GT(c.crashes, 0u);
+  EXPECT_GT(c.garbage_bursts, 0u);
+}
+
+TEST(HostCrashRestart, FailsLiveSessionsAndCountsDegradation) {
+  auto sim = pif_world(sim::Topology::ring(3), 11);
+  svc::Client client(*sim);
+  bool fired = false;
+  svc::SessionResult seen;
+  const svc::Session s = client.submit(
+      0, svc::PifBroadcast{Value::integer(1)},
+      [&](const svc::SessionKey&, const svc::SessionResult& r) {
+        fired = true;
+        seen = r;
+      });
+  auto& host = sim->process_as<svc::ServiceHost>(0);
+  EXPECT_EQ(host.degrade().sessions_killed, 0u);
+  Rng rng(77);
+  host.crash_restart(rng);
+  // The live session died visibly: completion fired with completed=false,
+  // and the host's graceful-degradation counters recorded the kill.
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(seen.completed);
+  EXPECT_EQ(host.degrade().sessions_killed, 1u);
+  EXPECT_EQ(host.degrade().crashes, 1u);
+  EXPECT_EQ(client.state(s), svc::SessionState::Done);
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor: terminal outcomes, retries, forced settlement.
+// ---------------------------------------------------------------------------
+
+TEST(Supervisor, HealthyRequestSettlesOkFirstAttempt) {
+  auto sim = pif_world(sim::Topology::ring(4), 21);
+  svc::Client client(*sim);
+  svc::Supervisor sup(client);
+  const auto t = sup.supervise(1, svc::PifBroadcast{Value::integer(5)});
+  EXPECT_FALSE(sup.terminal(t));
+  ASSERT_TRUE(sup.run_all());
+  ASSERT_TRUE(sup.terminal(t));
+  EXPECT_EQ(sup.outcome(t), svc::SessionOutcome::Ok);
+  EXPECT_EQ(sup.attempts(t), 1);
+  EXPECT_EQ(sup.result(t).value, Value::integer(5));
+  EXPECT_EQ(sup.stats().ok, 1u);
+  EXPECT_EQ(sup.live(), 0);
+}
+
+TEST(Supervisor, CrashKilledAttemptRetriesToOk) {
+  auto sim = pif_world(sim::Topology::ring(3), 22);
+  svc::Client client(*sim);
+  svc::SuperviseOptions so;
+  so.retry_budget = 4;
+  so.backoff_base = 8;
+  svc::Supervisor sup(client, so);
+  const auto t = sup.supervise(0, svc::PifBroadcast{Value::integer(9)});
+  // Kill the first attempt by hand, then let the supervisor recover it.
+  Rng rng(5);
+  sim->process_as<svc::ServiceHost>(0).crash_restart(rng);
+  ASSERT_TRUE(sup.run_all());
+  ASSERT_TRUE(sup.terminal(t));
+  EXPECT_EQ(sup.outcome(t), svc::SessionOutcome::Ok);
+  EXPECT_GE(sup.attempts(t), 2);
+  EXPECT_GE(sup.stats().resubmits, 1u);
+  EXPECT_EQ(sup.result(t).value, Value::integer(9));
+}
+
+TEST(Supervisor, PermanentCrashingGivesUpTerminally) {
+  auto sim = pif_world(sim::Topology::ring(3), 23);
+  svc::Client client(*sim);
+  svc::SuperviseOptions so;
+  so.retry_budget = 2;
+  so.backoff_base = 4;
+  so.backoff_max = 8;
+  svc::Supervisor sup(client, so);
+  Rng rng(6);
+  // Crash the host at every pump: no attempt can survive.
+  sup.set_on_pump(
+      [&] { sim->process_as<svc::ServiceHost>(0).crash_restart(rng); });
+  const auto t = sup.supervise(0, svc::PifBroadcast{Value::integer(3)});
+  svc::AwaitOptions aw;
+  aw.policy.check_every = 1;
+  sup.run_all(aw);
+  ASSERT_TRUE(sup.terminal(t));
+  EXPECT_EQ(sup.outcome(t), svc::SessionOutcome::GaveUp);
+  EXPECT_EQ(sup.attempts(t), 1 + so.retry_budget);
+  EXPECT_EQ(sup.stats().gave_up, 1u);
+}
+
+TEST(Supervisor, BudgetExhaustionForcesTerminalExpiry) {
+  auto sim = pif_world(sim::Topology::ring(6), 24);
+  svc::Client client(*sim);
+  svc::SuperviseOptions so;
+  so.retry_budget = 1;
+  svc::Supervisor sup(client, so);
+  const auto t = sup.supervise(2, svc::PifBroadcast{Value::integer(8)});
+  svc::AwaitOptions aw;
+  aw.max_steps = 4;  // nowhere near enough for a PIF wave
+  EXPECT_FALSE(sup.run_all(aw));
+  // No silent hang: the ticket is terminal even though the budget died.
+  ASSERT_TRUE(sup.terminal(t));
+  EXPECT_EQ(sup.outcome(t), svc::SessionOutcome::Expired);
+  EXPECT_EQ(sup.live(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// The chaos acceptance suite: 22 seeds x 3 topologies = 66 (seed, plan)
+// combos. Phase A lands supervised sessions inside the fault windows and
+// requires terminal outcomes for all of them; phase B submits after the
+// last window closes and requires correct completion.
+// ---------------------------------------------------------------------------
+
+using ChaosParam = std::tuple<std::uint64_t, std::string>;
+
+class FaultChaos : public ::testing::TestWithParam<ChaosParam> {};
+
+TEST_P(FaultChaos, MidFaultTerminalAndPostFaultServed) {
+  const auto& [seed, topo_name] = GetParam();
+  const int n = 6;
+  const sim::Topology topo = make_topo(topo_name, n, seed);
+  auto sim = pif_world(topo, seed);
+  svc::Client client(*sim);
+  const FaultPlan plan = FaultPlan::compile(chaos_spec(seed), topo);
+  Injector inj(plan);
+
+  svc::SuperviseOptions so;
+  so.attempt_deadline = 2'000;
+  so.retry_budget = 3;
+  so.backoff_base = 32;
+  so.seed = seed;
+  svc::Supervisor sup(client, so);
+  sup.set_on_pump([&] { inj.poll(*sim); });
+
+  // Phase A: requests in flight while the fault rages. Outcomes may be
+  // anything — but they must be terminal, not hangs.
+  std::vector<svc::Supervisor::Ticket> mid;
+  for (int i = 0; i < 8; ++i)
+    mid.push_back(
+        sup.supervise(i % n, svc::PifBroadcast{Value::integer(1'000 + i)}));
+  svc::AwaitOptions aw;
+  aw.max_steps = 2'000'000;
+  aw.policy.check_every = 16;
+  sup.run_all(aw);
+  for (const auto t : mid) {
+    ASSERT_TRUE(sup.terminal(t)) << plan.repro_line();
+    if (sup.outcome(t) == svc::SessionOutcome::Ok)
+      EXPECT_TRUE(sup.result(t).completed) << plan.repro_line();
+  }
+
+  // Drain the schedule: keep the engine stepping (quiescent spells get a
+  // wake-up probe) until every window has closed — the fault has ceased.
+  int guard = 0;
+  while (!inj.done() && ++guard < 10'000) {
+    const auto reason = sim->run(2'048, [&](Simulator& s) {
+      inj.poll(s);
+      return inj.done();
+    });
+    if (reason == Simulator::StopReason::Quiescent)
+      client.submit(0, svc::PifBroadcast{Value::integer(900'000 + guard)});
+  }
+  ASSERT_TRUE(inj.done()) << plan.repro_line();
+  ASSERT_GE(sim->step_count(), plan.last_end()) << plan.repro_line();
+
+  // Phase B: the snap-stabilization promise — every request submitted
+  // after the fault ceased completes correctly.
+  std::vector<svc::Session> post;
+  std::vector<Value> payloads;
+  for (int i = 0; i < 2 * n; ++i) {
+    const Value v = Value::integer(5'000 + i);
+    post.push_back(client.submit(i % n, svc::PifBroadcast{v}));
+    payloads.push_back(v);
+  }
+  svc::AwaitOptions bw;
+  bw.max_steps = 5'000'000;
+  ASSERT_TRUE(client.run_until(post, bw)) << plan.repro_line();
+  for (std::size_t i = 0; i < post.size(); ++i) {
+    const svc::SessionResult r = client.result(post[i]);
+    EXPECT_TRUE(r.completed) << plan.repro_line();
+    EXPECT_EQ(r.value, payloads[i]) << plan.repro_line();
+  }
+}
+
+std::string chaos_name(const ::testing::TestParamInfo<ChaosParam>& info) {
+  return std::get<1>(info.param) + "_seed" +
+         std::to_string(std::get<0>(info.param));
+}
+
+std::vector<ChaosParam> chaos_params() {
+  std::vector<ChaosParam> out;
+  for (const char* topo : {"ring", "complete", "tree"})
+    for (std::uint64_t seed = 1; seed <= 22; ++seed)
+      out.emplace_back(seed, topo);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Campaign, FaultChaos,
+                         ::testing::ValuesIn(chaos_params()), chaos_name);
+
+// ---------------------------------------------------------------------------
+// Replay: identical (seed, plan) runs are bit-identical on the Simulator —
+// same observation stream, same step count, same injector counters.
+// ---------------------------------------------------------------------------
+
+struct ReplayResult {
+  std::uint64_t digest = 0;
+  std::uint64_t steps = 0;
+  Injector::Counters counters;
+};
+
+ReplayResult run_replay(std::uint64_t seed, const std::string& topo_name) {
+  const int n = 6;
+  const sim::Topology topo = make_topo(topo_name, n, seed);
+  auto sim = pif_world(topo, seed);
+  svc::Client client(*sim);
+  const FaultPlan plan = FaultPlan::compile(chaos_spec(seed), topo);
+  Injector inj(plan);
+  svc::SuperviseOptions so;
+  so.attempt_deadline = 1'500;
+  so.retry_budget = 2;
+  so.seed = seed;
+  svc::Supervisor sup(client, so);
+  sup.set_on_pump([&] { inj.poll(*sim); });
+  for (int i = 0; i < n; ++i)
+    sup.supervise(i, svc::PifBroadcast{Value::integer(100 + i)});
+  svc::AwaitOptions aw;
+  aw.max_steps = 500'000;
+  aw.policy.check_every = 16;
+  sup.run_all(aw);
+  ReplayResult r;
+  r.digest = log_digest(*sim);
+  r.steps = sim->step_count();
+  r.counters = inj.counters();
+  return r;
+}
+
+class FaultReplay : public ::testing::TestWithParam<ChaosParam> {};
+
+TEST_P(FaultReplay, SameSeedAndPlanReplaysBitIdentically) {
+  const auto& [seed, topo_name] = GetParam();
+  const ReplayResult a = run_replay(seed, topo_name);
+  const ReplayResult b = run_replay(seed, topo_name);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.counters.crashes, b.counters.crashes);
+  EXPECT_EQ(a.counters.garbage_bursts, b.counters.garbage_bursts);
+  EXPECT_EQ(a.counters.drops, b.counters.drops);
+  EXPECT_EQ(a.counters.duplicates, b.counters.duplicates);
+  EXPECT_EQ(a.counters.partition_wipes, b.counters.partition_wipes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Campaign, FaultReplay,
+                         ::testing::Values(ChaosParam{31, "ring"},
+                                           ChaosParam{32, "complete"},
+                                           ChaosParam{33, "tree"}),
+                         chaos_name);
+
+}  // namespace
+}  // namespace snapstab::fault

@@ -426,5 +426,55 @@ TEST(SvcAwait, ThreadRuntimeTimeoutReturnsFalseAndSecondAwaitDoesNotCrash) {
   EXPECT_FALSE(client.done(s));
 }
 
+// ---------------------------------------------------------------------------
+// AwaitResult: the typed verdict behind the bool shim — "more budget might
+// finish this" (BudgetExhausted) vs "no budget ever will" (RuntimeDown).
+// ---------------------------------------------------------------------------
+
+TEST(SvcAwait, AwaitResultNamesAreExhaustive) {
+  EXPECT_STREQ(await_result_name(AwaitResult::Done), "done");
+  EXPECT_STREQ(await_result_name(AwaitResult::BudgetExhausted),
+               "budget-exhausted");
+  EXPECT_STREQ(await_result_name(AwaitResult::RuntimeDown), "runtime-down");
+}
+
+TEST(SvcAwait, SimulatorBudgetVerdictIsTypedAndRetryable) {
+  auto sim = pif_host_world(3, 94);
+  Client client(*sim);
+  const Session s = client.submit(0, PifBroadcast{Value::integer(4)});
+  // Steps remain enabled at the budget: BudgetExhausted, not RuntimeDown —
+  // a bigger budget finishes the same session. (A quiescent Simulator with
+  // incomplete sessions would read RuntimeDown, but the snap-stabilizing
+  // protocols retransmit: even a fully wiped channel set re-enables, which
+  // is exactly why the typed verdict matters on the ThreadRuntime, where
+  // the one-shot run really can die under the await.)
+  AwaitOptions tight;
+  tight.max_steps = 2;
+  EXPECT_EQ(client.await_all({s}, tight), AwaitResult::BudgetExhausted);
+  EXPECT_FALSE(client.done(s));
+  AwaitOptions roomy;
+  roomy.max_steps = 1'000'000;
+  EXPECT_EQ(client.await_all({s}, roomy), AwaitResult::Done);
+  EXPECT_TRUE(client.result(s).completed);
+}
+
+TEST(SvcAwait, ThreadRuntimeDistinguishesTimeoutFromDeadRuntime) {
+  const int n = 3;
+  // Total loss: the wave cannot complete, so the first await ends at the
+  // wall budget while the runtime is still live — BudgetExhausted. The
+  // runtime is one-shot, so after that run the threads have joined and a
+  // second await can only report RuntimeDown.
+  runtime::ThreadRuntime rt(n, {.loss_rate = 1.0, .seed = 95});
+  for (int i = 0; i < n; ++i)
+    rt.add_process(std::make_unique<core::PifProcess>(n - 1, 1));
+  Client client(rt);
+  const Session s = client.submit(0, PifBroadcast{Value::integer(6)});
+  AwaitOptions opts;
+  opts.timeout = std::chrono::milliseconds(50);
+  EXPECT_EQ(client.await_all({s}, opts), AwaitResult::BudgetExhausted);
+  EXPECT_EQ(client.await_all({s}, opts), AwaitResult::RuntimeDown);
+  EXPECT_FALSE(client.done(s));
+}
+
 }  // namespace
 }  // namespace snapstab::svc
