@@ -2,21 +2,38 @@
 
 #include <algorithm>
 
+#include "mutate/mutate.hpp"
+
 namespace snapstab::core {
+
+std::int64_t Election::leader() const noexcept {
+  return MUTATION_POINT("el.leader.self_id", idl_.min_id(), idl_.own_id());
+}
+
+bool Election::is_leader() const noexcept {
+  return MUTATION_POINT("el.is_leader.flip", idl_.min_id() == idl_.own_id(),
+                        idl_.min_id() != idl_.own_id());
+}
 
 std::vector<std::int64_t> Election::members() const {
   std::vector<std::int64_t> all;
   all.reserve(static_cast<std::size_t>(idl_.state().id_tab.size()) + 1);
-  all.push_back(idl_.own_id());
+  if (MUTATION_POINT("el.members.skip_self", true, false))
+    all.push_back(idl_.own_id());
   for (const auto id : idl_.state().id_tab) all.push_back(id);
   std::sort(all.begin(), all.end());
+  if (MUTATION_POINT("el.members.sort_desc", false, true))
+    std::reverse(all.begin(), all.end());
   return all;
 }
 
 int Election::rank() const {
   const auto all = members();
-  const auto it = std::find(all.begin(), all.end(), idl_.own_id());
-  return static_cast<int>(it - all.begin());
+  const auto it =
+      std::find(all.begin(), all.end(),
+                MUTATION_POINT("el.rank.of_leader", idl_.own_id(), leader()));
+  return static_cast<int>(it - all.begin()) +
+         MUTATION_POINT("el.rank.off_by_one", 0, 1);
 }
 
 }  // namespace snapstab::core

@@ -27,8 +27,8 @@ class Election {
   }
   bool done() const noexcept { return idl_.done(); }
 
-  std::int64_t leader() const noexcept { return idl_.min_id(); }
-  bool is_leader() const noexcept { return idl_.min_id() == idl_.own_id(); }
+  std::int64_t leader() const noexcept;
+  bool is_leader() const noexcept;
 
   // The full member list (own id + every learned neighbor id), sorted
   // ascending. Valid after a started election completed.

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "mutate/mutate.hpp"
 
 namespace snapstab::core {
 
@@ -17,7 +18,9 @@ Forward::Forward(sim::ProcessId self, int degree,
     : self_(self),
       routes_(std::move(routes)),
       options_(options),
-      flag_bound_(2 * options.channel_capacity + 2) {
+      flag_bound_(MUTATION_POINT("fwd.flag_bound.short",
+                                 2 * options.channel_capacity + 2,
+                                 2 * options.channel_capacity + 1)) {
   SNAPSTAB_CHECK(routes_ != nullptr);
   SNAPSTAB_CHECK(self_ >= 0 && self_ < routes_->process_count());
   SNAPSTAB_CHECK_MSG(routes_->process_count() <= 0x10000,
@@ -51,10 +54,20 @@ ForwardSubmit Forward::submit(const Value& payload, sim::ProcessId dst) {
     local_.push_back(item);
     return ForwardSubmit::Accepted;
   }
-  if (!enqueue(routes_->next_index(self_, dst), item))
+  if (!enqueue(MUTATION_POINT("fwd.submit.wrong_first_hop",
+                              (routes_->next_index(self_, dst)),
+                              ((routes_->next_index(self_, dst) + 1) %
+                               degree())),
+               item))
     return ForwardSubmit::BufferFull;
   ++next_seq_;
   return ForwardSubmit::Accepted;
+}
+
+int Forward::relay_index(sim::ProcessId dst) const {
+  return MUTATION_POINT("fwd.relay.wrong_neighbor",
+                        (routes_->next_index(self_, dst)),
+                        ((routes_->next_index(self_, dst) + 1) % degree()));
 }
 
 bool Forward::link_full(const OutLink& out) const noexcept {
@@ -72,8 +85,12 @@ bool Forward::enqueue(int ch, const Item& item) {
 void Forward::deliver(sim::Context& ctx, const Item& item) {
   const FwdHeader h = unpack_fwd_header(item.header);
   const int origin =
-      h.origin >= 0 && h.origin < routes_->process_count() ? h.origin : -1;
-  ++delivered_;
+      MUTATION_POINT("fwd.deliver.misattribute_origin",
+                     (h.origin >= 0 && h.origin < routes_->process_count()
+                          ? h.origin
+                          : -1),
+                     h.dst);
+  delivered_ += MUTATION_POINT("fwd.deliver.uncounted", 1, 0);
   ctx.observe(sim::Layer::Service, sim::ObsKind::FwdDeliver, origin,
               item.payload);
   if (on_deliver_) on_deliver_(h, item.payload);
@@ -91,18 +108,23 @@ void Forward::tick(sim::Context& ctx) {
     // already at (or beyond) the bound — it would never retransmit and no
     // echo could ever complete it, wedging the link forever. Retire it; a
     // transfer in that state is complete for all the handshake can tell.
-    if (out.active && out.sstate >= flag_bound_) out.active = false;
+    if (out.active &&
+        MUTATION_POINT("fwd.zombie.immortal", out.sstate >= flag_bound_,
+                       out.sstate > flag_bound_))
+      out.active = false;
     // Start the next queued transfer (the analogue of PIF's A1: the hop
     // flag restarts from 0, which is what makes the handshake exact).
     if (!out.active && !out.pending.empty()) {
       out.current = out.pending.front();
       out.pending.pop_front();
       out.active = true;
-      out.sstate = 0;
+      out.sstate = MUTATION_POINT("fwd.start.skew", 0, 1);
     }
     // Retransmit (the analogue of A2). A refused push — full channel — is
     // simply a loss; the next tick retries.
-    if (out.active && out.sstate < flag_bound_)
+    if (out.active && MUTATION_POINT("fwd.tick.mute_retransmit",
+                                     out.sstate < flag_bound_,
+                                     out.sstate == 0))
       ctx.send(ch, Message::fwd_data(out.current.payload, out.current.header,
                                      out.sstate));
   }
@@ -132,9 +154,8 @@ void Forward::accept(sim::Context& ctx, const Message& m) {
     deliver(ctx, item);
     return;
   }
-  const int relay_ch = routes_->next_index(self_, h.dst);
   // accept() only runs after the caller verified there is room.
-  SNAPSTAB_CHECK(enqueue(relay_ch, item));
+  SNAPSTAB_CHECK(enqueue(relay_index(h.dst), item));
   ++relayed_;
 }
 
@@ -147,9 +168,13 @@ bool Forward::handle_message(sim::Context& ctx, int ch, const Message& m) {
     // handshake; anything else is stale and ignored (safety over speed).
     OutLink& out = out_[chi];
     const std::int32_t es = clamp_flag(m.state);
-    if (out.active && es == out.sstate && out.sstate < flag_bound_) {
+    if (out.active &&
+        MUTATION_POINT("fwd.echo.accept_stale", es == out.sstate,
+                       es >= out.sstate) &&
+        out.sstate < flag_bound_) {
       ++out.sstate;
-      if (out.sstate == flag_bound_) {
+      if (MUTATION_POINT("fwd.echo.early_ack", out.sstate == flag_bound_,
+                         out.sstate >= flag_bound_ - 1)) {
         out.active = false;  // hop acknowledged; tick starts the next item
         ++acked_;
       }
@@ -161,12 +186,15 @@ bool Forward::handle_message(sim::Context& ctx, int ch, const Message& m) {
 
   // Receiver role.
   const std::int32_t ds = clamp_flag(m.state);
-  const bool accepting = racc_[chi] != flag_bound_ - 1 && ds == flag_bound_ - 1;
+  const bool accepting =
+      MUTATION_POINT("fwd.accept.duplicates",
+                     (racc_[chi] != flag_bound_ - 1 && ds == flag_bound_ - 1),
+                     (ds == flag_bound_ - 1));
   if (accepting && m.f.is_int()) {
     const FwdHeader h = unpack_fwd_header(m.f.as_int());
     if (h.dst >= 0 && h.dst < routes_->process_count() && h.dst != self_) {
-      const OutLink& relay = out_[static_cast<std::size_t>(
-          routes_->next_index(self_, h.dst))];
+      const OutLink& relay =
+          out_[static_cast<std::size_t>(relay_index(h.dst))];
       if (link_full(relay)) {
         // Bounded-buffer backpressure: stall the handshake instead of
         // dropping the payload. Ignoring the message is indistinguishable

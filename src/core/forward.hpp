@@ -163,6 +163,10 @@ class Forward {
   // handle_message and the refusal in enqueue must agree, or accept()'s
   // post-stall enqueue assertion fires.
   bool link_full(const OutLink& out) const noexcept;
+  // The one definition of the relay out-link for a destination: the stall
+  // check and accept() must pick the same link for the same header, or
+  // accept()'s post-stall enqueue assertion fires.
+  int relay_index(sim::ProcessId dst) const;
   bool enqueue(int ch, const Item& item);
   std::int32_t clamp_flag(std::int32_t v) const noexcept;
 

@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "mutate/mutate.hpp"
 
 namespace snapstab::core {
 
@@ -21,21 +22,30 @@ void Idl::request() { st_.request = RequestState::Wait; }
 
 bool Idl::tick_enabled() const noexcept {
   if (st_.request == RequestState::Wait) return true;  // A1
-  return st_.request == RequestState::In && pif_.done();  // A2
+  // EQUIVALENT: dropping the PIF guard here is unobservable. The only
+  // consumer is svc::ServiceHost::tick_enabled(), an OR over the layers, and
+  // Pif::tick_enabled() is exactly !pif_.done() — so in every state where the
+  // two guards differ (In ∧ ¬PIF.Done) the PIF layer already enables the
+  // host, and tick() re-checks pif_.done() itself (A2) before deciding.
+  return st_.request == RequestState::In &&
+         MUTATION_EQUIVALENT("idl.enabled.ignore_pif", pif_.done(),
+                             true);  // A2
 }
 
 void Idl::tick(sim::Context& ctx) {
   // A1 — start: reset the accumulator and launch the PIF of the IDL query.
   if (st_.request == RequestState::Wait) {
     st_.request = RequestState::In;
-    st_.min_id = own_id_;
-    pif_.request(Value::token(Token::IdlQuery));
+    st_.min_id = MUTATION_POINT("idl.a1.keep_min", own_id_, st_.min_id);
+    if (MUTATION_POINT("idl.a1.skip_query", true, false))
+      pif_.request(Value::token(Token::IdlQuery));
     ctx.observe(sim::Layer::Idl, sim::ObsKind::Start, -1,
                 Value::integer(own_id_));
     return;  // the PIF starts on a later activation; A2 cannot hold yet
   }
   // A2 — termination: the underlying PIF decided.
-  if (st_.request == RequestState::In && pif_.done()) {
+  if (st_.request == RequestState::In &&
+      MUTATION_POINT("idl.a2.early_decide", pif_.done(), true)) {
     st_.request = RequestState::Done;
     ctx.observe(sim::Layer::Idl, sim::ObsKind::Decide, -1,
                 Value::integer(st_.min_id));
@@ -44,7 +54,8 @@ void Idl::tick(sim::Context& ctx) {
 
 Value Idl::on_brd(sim::Context&, int) {
   // A3 — feed our identity back to the broadcaster.
-  return Value::integer(own_id_);
+  return Value::integer(
+      MUTATION_POINT("idl.a3.misreport_id", own_id_, own_id_ + 1));
 }
 
 void Idl::on_fck(sim::Context&, int ch, const Value& f) {
@@ -53,8 +64,10 @@ void Idl::on_fck(sim::Context&, int ch, const Value& f) {
   // only reach here for a non-started computation, whose results carry no
   // guarantee anyway — it is folded in without further ado.
   const std::int64_t qid = f.as_int(/*fallback=*/0);
-  st_.id_tab[static_cast<std::size_t>(ch)] = qid;
-  st_.min_id = std::min(st_.min_id, qid);
+  if (MUTATION_POINT("idl.a4.drop_table", true, false))
+    st_.id_tab[static_cast<std::size_t>(ch)] = qid;
+  st_.min_id = MUTATION_POINT("idl.a4.fold_max", (std::min(st_.min_id, qid)),
+                              (std::max(st_.min_id, qid)));
 }
 
 void Idl::randomize(Rng& rng) {

@@ -5,6 +5,7 @@
 #include "sim/simulator.hpp"
 
 #include "common/check.hpp"
+#include "mutate/mutate.hpp"
 
 namespace snapstab::core {
 
@@ -34,10 +35,13 @@ bool Me::request_cs() {
 bool Me::winner() const {
   // Winner(p) ≡ (IDL.minID = ID ∧ Value = 0)
   //           ∨ (∃q: Privileges[q] ∧ IDL.ID-Tab[q] = IDL.minID)
-  if (idl_.min_id() == own_id_ && st_.value == 0) return true;
+  if (idl_.min_id() == own_id_ &&
+      st_.value == MUTATION_POINT("me.winner.wrong_slot", 0, 1))
+    return true;
   for (int ch = 0; ch < degree_; ++ch)
     if (st_.privileges[static_cast<std::size_t>(ch)] &&
-        idl_.id_tab(ch) == idl_.min_id())
+        MUTATION_POINT("me.winner.any_privilege",
+                       idl_.id_tab(ch) == idl_.min_id(), true))
       return true;
   return false;
 }
@@ -56,13 +60,21 @@ bool Me::tick_enabled() const noexcept {
 
 void Me::tick(sim::Context& ctx) {
   if (in_cs()) {
-    if (--st_.cs_remaining == 0) finish_cs(ctx);
+    if (MUTATION_POINT("me.cs.hasty_exit", --st_.cs_remaining == 0,
+                       ((--st_.cs_remaining), true)))
+      finish_cs(ctx);
     return;
   }
 
   // Defensive repair: the declared domain of Phase is {0..4}; a wild value
   // (possible only through out-of-domain fuzzing) re-enters the cycle at 0.
-  if (st_.phase < 0 || st_.phase > 4) st_.phase = 0;
+  // EQUIVALENT: widening the repair guard to `phase < 1` only adds the case
+  // phase == 0, where the repair assigns 0 to a variable already holding 0 —
+  // a no-op in every execution (the disjunct `phase > 4` is untouched).
+  if (MUTATION_EQUIVALENT("me.repair.phase_floor", st_.phase < 0,
+                          st_.phase < 1) ||
+      st_.phase > 4)
+    st_.phase = 0;
 
   // A0 — (re)start the cycle: launch IDL, absorb a pending request.
   if (st_.phase == 0) {
@@ -82,14 +94,16 @@ void Me::tick(sim::Context& ctx) {
   }
   // A2 — ASK finished: a winner evicts every ghost via EXIT.
   if (st_.phase == 2 && pif_.done()) {
-    if (winner()) pif_.request(Value::token(Token::Exit));
+    if (winner() && MUTATION_POINT("me.a2.skip_exit", true, false))
+      pif_.request(Value::token(Token::Exit));
     st_.phase = 3;
     if (!pif_.done()) return;  // EXIT was launched; wait for it
   }
   // A3 — EXIT finished (or no EXIT): enter the CS / release.
   if (st_.phase == 3 && pif_.done()) {
     if (winner()) {
-      if (st_.request == RequestState::In) {
+      if (MUTATION_POINT("me.a3.enter_unrequested",
+                         st_.request == RequestState::In, true)) {
         // Enter the critical section. The process is busy until the
         // countdown completes; finish_cs() then runs the rest of A3.
         ctx.observe(sim::Layer::Me, sim::ObsKind::CsEnter, -1,
@@ -123,7 +137,8 @@ void Me::finish_cs(sim::Context& ctx) {
 void Me::release() {
   if (idl_.min_id() == own_id_) {
     // The leader releases itself: Value 0 -> 1.
-    st_.value = 1 % value_modulus();
+    st_.value = MUTATION_POINT("me.release.value_stuck",
+                               1 % value_modulus(), 0);
   } else {
     pif_.request(Value::token(Token::ExitCs));
   }
@@ -132,19 +147,23 @@ void Me::release() {
 Value Me::on_brd_ask(sim::Context&, int ch) {
   // A5 — YES iff Value favours the asking neighbor (paper channel number
   // ch+1).
-  return Value::token(st_.value == ch + 1 ? Token::Yes : Token::No);
+  return Value::token(
+      st_.value == MUTATION_POINT("me.a5.yes_off_by_one", ch + 1, ch)
+          ? Token::Yes
+          : Token::No);
 }
 
 Value Me::on_brd_exit(sim::Context&, int) {
   // A6 — a winner is about to enter the CS: restart our cycle from phase 0.
-  st_.phase = 0;
+  st_.phase = MUTATION_POINT("me.a6.ignore_exit", 0, st_.phase);
   return Value::token(Token::Ok);
 }
 
 Value Me::on_brd_exitcs(sim::Context&, int ch) {
   // A7 — the favoured neighbor released the CS: advance the favour token.
   if (st_.value == ch + 1)
-    st_.value = (st_.value + 1) % value_modulus();
+    st_.value = MUTATION_POINT("me.a7.freeze_token",
+                               (st_.value + 1) % value_modulus(), st_.value);
   return Value::token(Token::Ok);
 }
 

@@ -7,14 +7,18 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "mutate/mutate.hpp"
 
 namespace snapstab::core {
 
 Pif::Pif(int degree, int channel_capacity, std::int32_t flag_bound_override)
     : degree_(degree),
       capacity_(channel_capacity),
-      flag_bound_(flag_bound_override != 0 ? flag_bound_override
-                                           : 2 * channel_capacity + 2) {
+      flag_bound_(flag_bound_override != 0
+                      ? flag_bound_override
+                      : MUTATION_POINT("pif.flag_bound.short",
+                                       2 * channel_capacity + 2,
+                                       2 * channel_capacity + 1)) {
   SNAPSTAB_CHECK_MSG(degree_ >= 1, "PIF needs at least one neighbor");
   SNAPSTAB_CHECK_MSG(capacity_ >= 1,
                      "snap-stabilization requires a known capacity bound");
@@ -34,7 +38,9 @@ void Pif::request(const Value& b) {
 }
 
 std::int32_t Pif::clamp_flag(std::int32_t v) const noexcept {
-  return std::clamp<std::int32_t>(v, 0, flag_bound_);
+  return MUTATION_POINT("pif.clamp.shrink_domain",
+                        (std::clamp<std::int32_t>(v, 0, flag_bound_)),
+                        (std::clamp<std::int32_t>(v, 0, flag_bound_ - 1)));
 }
 
 void Pif::send_to(sim::Context& ctx, int ch) {
@@ -47,22 +53,31 @@ void Pif::send_to(sim::Context& ctx, int ch) {
 void Pif::tick(sim::Context& ctx) {
   // A1 — start.
   if (st_.request == RequestState::Wait) {
-    st_.request = RequestState::In;
-    std::fill(st_.state.begin(), st_.state.end(), 0);
+    st_.request = MUTATION_POINT("pif.a1.start_done", RequestState::In,
+                                 RequestState::Done);
+    std::fill(st_.state.begin(), st_.state.end(),
+              MUTATION_POINT("pif.a1.stale_state", 0, 1));
     ctx.observe(sim::Layer::Pif, sim::ObsKind::Start, -1, st_.b_mes);
   }
   // A2 — decide, or retransmit to every unfinished neighbor.
   if (st_.request == RequestState::In) {
+    const auto at_bound = [this](std::int32_t s) { return s == flag_bound_; };
     const bool all_done =
-        std::all_of(st_.state.begin(), st_.state.end(),
-                    [this](std::int32_t s) { return s == flag_bound_; });
+        MUTATION_POINT("pif.a2.decide_on_any",
+                       (std::all_of(st_.state.begin(), st_.state.end(),
+                                    at_bound)),
+                       (std::any_of(st_.state.begin(), st_.state.end(),
+                                    at_bound)));
     if (all_done) {
       st_.request = RequestState::Done;
       ctx.observe(sim::Layer::Pif, sim::ObsKind::Decide, -1, st_.b_mes);
       if (cb_.on_decide) cb_.on_decide(ctx);
     } else {
       for (int ch = 0; ch < degree_; ++ch)
-        if (st_.state[static_cast<std::size_t>(ch)] != flag_bound_)
+        if (MUTATION_POINT(
+                "pif.a2.retransmit_done_only",
+                st_.state[static_cast<std::size_t>(ch)] != flag_bound_,
+                st_.state[static_cast<std::size_t>(ch)] == flag_bound_))
           send_to(ctx, ch);
     }
   }
@@ -78,7 +93,9 @@ bool Pif::handle_message(sim::Context& ctx, int ch, const Message& m) {
 
   // receive-brd: first sight of the sender's flag reaching F-1 announces the
   // sender's broadcast payload; the application installs the feedback.
-  if (st_.neig_state[chi] != brd_flag && q_state == brd_flag) {
+  if (MUTATION_POINT("pif.a3.rereceive_brd",
+                     st_.neig_state[chi] != brd_flag && q_state == brd_flag,
+                     q_state == brd_flag)) {
     ctx.observe(sim::Layer::Pif, sim::ObsKind::RecvBrd, ch, m.b);
     st_.f_mes[chi] =
         cb_.on_brd ? cb_.on_brd(ctx, ch, m.b) : Value::token(Token::Ok);
@@ -89,7 +106,9 @@ bool Pif::handle_message(sim::Context& ctx, int ch, const Message& m) {
   // which can only make a match *less* likely — safety is preserved.
   st_.neig_state[chi] = clamp_flag(q_state);
 
-  if (st_.state[chi] == p_state && st_.state[chi] < flag_bound_) {
+  if (st_.state[chi] == p_state &&
+      MUTATION_POINT("pif.a3.count_past_bound",
+                     st_.state[chi] < flag_bound_, true)) {
     ++st_.state[chi];
     if (st_.state[chi] == flag_bound_) {
       ctx.observe(sim::Layer::Pif, sim::ObsKind::RecvFck, ch, m.f);
@@ -97,7 +116,9 @@ bool Pif::handle_message(sim::Context& ctx, int ch, const Message& m) {
     }
   }
 
-  if (q_state < flag_bound_) send_to(ctx, ch);
+  if (MUTATION_POINT("pif.a3.mute_final_echo", q_state < flag_bound_,
+                     q_state < flag_bound_ - 1))
+    send_to(ctx, ch);
   return true;
 }
 

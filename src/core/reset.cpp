@@ -4,6 +4,8 @@
 // sim/simulator.hpp; every TU calling them must see the definitions.
 #include "sim/simulator.hpp"
 
+#include "mutate/mutate.hpp"
+
 namespace snapstab::core {
 
 Reset::Reset(Pif& pif, std::function<void(sim::Context&)> on_reset)
@@ -12,7 +14,9 @@ Reset::Reset(Pif& pif, std::function<void(sim::Context&)> on_reset)
 void Reset::request() { request_ = RequestState::Wait; }
 
 bool Reset::tick_enabled() const noexcept {
-  if (request_ == RequestState::Wait) return true;
+  if (MUTATION_POINT("reset.enabled.never_start",
+                     request_ == RequestState::Wait, false))
+    return true;
   return request_ == RequestState::In && pif_.done();
 }
 
@@ -20,14 +24,18 @@ void Reset::tick(sim::Context& ctx) {
   if (request_ == RequestState::Wait) {
     request_ = RequestState::In;
     // The initiator resets itself at the start, then propagates the order.
-    ++executed_;
-    if (on_reset_) on_reset_(ctx);
-    pif_.request(Value::token(Token::Reset));
+    if (MUTATION_POINT("reset.a1.skip_self", true, false)) {
+      ++executed_;
+      if (on_reset_) on_reset_(ctx);
+    }
+    pif_.request(Value::token(
+        MUTATION_POINT("reset.a1.wrong_token", Token::Reset, Token::Ok)));
     ctx.observe(sim::Layer::Service, sim::ObsKind::Start, -1,
                 Value::token(Token::Reset));
     return;
   }
-  if (request_ == RequestState::In && pif_.done()) {
+  if (request_ == RequestState::In &&
+      MUTATION_POINT("reset.a2.early_done", pif_.done(), true)) {
     request_ = RequestState::Done;
     ctx.observe(sim::Layer::Service, sim::ObsKind::Decide, -1,
                 Value::token(Token::Reset));
@@ -35,8 +43,10 @@ void Reset::tick(sim::Context& ctx) {
 }
 
 Value Reset::on_brd(sim::Context& ctx, int) {
-  ++executed_;
-  if (on_reset_) on_reset_(ctx);
+  if (MUTATION_POINT("reset.brd.skip_execute", true, false)) {
+    executed_ += MUTATION_POINT("reset.brd.double_execute", 1, 2);
+    if (on_reset_) on_reset_(ctx);
+  }
   return Value::token(Token::Ok);
 }
 

@@ -5,6 +5,7 @@
 #include "sim/simulator.hpp"
 
 #include "common/check.hpp"
+#include "mutate/mutate.hpp"
 
 namespace snapstab::core {
 
@@ -19,29 +20,40 @@ Snapshot::Snapshot(Pif& pif, int degree, std::function<Value()> local_state)
 void Snapshot::request() { request_ = RequestState::Wait; }
 
 bool Snapshot::tick_enabled() const noexcept {
-  if (request_ == RequestState::Wait) return true;
+  if (MUTATION_POINT("snap.enabled.never_start",
+                     request_ == RequestState::Wait, false))
+    return true;
   return request_ == RequestState::In && pif_.done();
 }
 
 void Snapshot::tick(sim::Context& ctx) {
   if (request_ == RequestState::Wait) {
     request_ = RequestState::In;
-    pif_.request(Value::token(Token::SnapQuery));
+    pif_.request(Value::token(MUTATION_POINT("snap.a1.wrong_token",
+                                             Token::SnapQuery, Token::Ok)));
     ctx.observe(sim::Layer::Service, sim::ObsKind::Start, -1,
                 Value::token(Token::SnapQuery));
     return;
   }
-  if (request_ == RequestState::In && pif_.done()) {
+  if (request_ == RequestState::In &&
+      MUTATION_POINT("snap.a2.early_done", pif_.done(), true)) {
     request_ = RequestState::Done;
-    own_state_ = local_state_();
+    own_state_ = MUTATION_POINT("snap.a2.skip_own", local_state_(),
+                                own_state_);
     ctx.observe(sim::Layer::Service, sim::ObsKind::Decide, -1, own_state_);
   }
 }
 
-Value Snapshot::on_brd(sim::Context&, int) { return local_state_(); }
+Value Snapshot::on_brd(sim::Context&, int) {
+  return MUTATION_POINT("snap.brd.report_none", local_state_(),
+                        Value::none());
+}
 
 void Snapshot::on_fck(sim::Context&, int ch, const Value& f) {
-  collected_[static_cast<std::size_t>(ch)] = f;
+  if (MUTATION_POINT("snap.fck.drop", true, false))
+    collected_[MUTATION_POINT(
+        "snap.fck.shift_neighbor", (static_cast<std::size_t>(ch)),
+        (static_cast<std::size_t>((ch + 1) % degree_)))] = f;
 }
 
 void Snapshot::randomize(Rng& rng) {

@@ -5,6 +5,7 @@
 #include "sim/simulator.hpp"
 
 #include "common/check.hpp"
+#include "mutate/mutate.hpp"
 
 namespace snapstab::core {
 
@@ -27,7 +28,7 @@ bool TermDetect::tick_enabled() const noexcept {
 
 void TermDetect::start_wave() {
   pif_.request(Value::token(Token::Probe));
-  ++waves_;
+  waves_ += MUTATION_POINT("td.wave.uncounted", 1, 0);
 }
 
 void TermDetect::tick(sim::Context& ctx) {
@@ -35,7 +36,7 @@ void TermDetect::tick(sim::Context& ctx) {
     request_ = RequestState::In;
     claim_ = false;
     have_prev_ = false;
-    waves_ = 0;
+    waves_ = MUTATION_POINT("td.start.keep_waves", 0, waves_);
     ctx.observe(sim::Layer::Service, sim::ObsKind::Start, -1,
                 Value::token(Token::Probe));
     start_wave();
@@ -48,7 +49,9 @@ void TermDetect::tick(sim::Context& ctx) {
   // termination.
   current_.self = counters_();
   const bool quiet = snapshot_is_quiet(current_);
-  if (quiet && have_prev_ && current_ == previous_) {
+  if (quiet && MUTATION_POINT("td.claim.single_probe",
+                              (have_prev_ && current_ == previous_),
+                              have_prev_)) {
     claim_ = true;
     request_ = RequestState::Done;
     ctx.observe(sim::Layer::Service, sim::ObsKind::Decide, -1,
@@ -56,7 +59,13 @@ void TermDetect::tick(sim::Context& ctx) {
     return;
   }
   previous_ = current_;
-  have_prev_ = quiet;  // only a quiet snapshot can anchor a double probe
+  // Only a quiet snapshot can anchor a double probe.
+  // EQUIVALENT: anchoring on every snapshot changes nothing observable —
+  // a claim additionally requires `quiet && current_ == previous_`, and
+  // snapshot quietness is a pure function of the snapshot, so an equal
+  // previous snapshot was itself quiet; the conjunct the anchor encodes is
+  // implied. A fresh Start always resets have_prev_ to false first.
+  have_prev_ = MUTATION_EQUIVALENT("td.anchor.redundant", quiet, true);
   start_wave();
 }
 
@@ -69,20 +78,24 @@ bool TermDetect::snapshot_is_quiet(const Snapshot& s) const {
     sent += c.sent;
     received += c.received;
   }
-  return all_passive && sent == received;
+  return MUTATION_POINT("td.quiet.ignore_passive", all_passive, true) &&
+         MUTATION_POINT("td.quiet.allow_inflight", sent == received,
+                        sent >= received);
 }
 
 Value TermDetect::on_brd(sim::Context&, int) { return pack(counters_()); }
 
 void TermDetect::on_fck(sim::Context&, int ch, const Value& f) {
-  current_.peers[static_cast<std::size_t>(ch)] = unpack(f);
+  if (MUTATION_POINT("td.fck.drop_peer", true, false))
+    current_.peers[static_cast<std::size_t>(ch)] = unpack(f);
 }
 
 Value TermDetect::pack(const AppCounters& c) {
   const std::uint64_t bits =
       (c.passive ? 1ull : 0ull) |
       (static_cast<std::uint64_t>(c.sent & 0x7FFFFFFFu) << 1) |
-      (static_cast<std::uint64_t>(c.received & 0x7FFFFFFFu) << 32);
+      (static_cast<std::uint64_t>(c.received & 0x7FFFFFFFu)
+       << MUTATION_POINT("td.pack.field_overlap", 32, 1));
   return Value::integer(static_cast<std::int64_t>(bits));
 }
 

@@ -1,0 +1,103 @@
+#include "mutate/mutate.hpp"
+
+#include <algorithm>
+
+namespace snapstab::mutate {
+
+namespace {
+
+// Function-local static: safe against any static-init ordering — the first
+// registering TU constructs it. Registration happens before main (Reg's
+// static member initializers run from .init_array), so no locking is needed.
+std::vector<Point*>& registry() {
+  static std::vector<Point*> points;
+  return points;
+}
+
+std::vector<Point*> sorted_registry() {
+  std::vector<Point*> points = registry();
+  std::sort(points.begin(), points.end(),
+            [](const Point* a, const Point* b) {
+              return std::string_view(a->id) < std::string_view(b->id);
+            });
+  return points;
+}
+
+Point* find_mutable(std::string_view id) {
+  for (Point* p : registry())
+    if (id == p->id) return p;
+  return nullptr;
+}
+
+}  // namespace
+
+Point::Point(const char* id_, const char* live_, const char* mutant_,
+             const char* file_, int line_, bool equivalent_) noexcept
+    : id(id_),
+      live(live_),
+      mutant(mutant_),
+      file(file_),
+      line(line_),
+      equivalent(equivalent_) {
+  registry().push_back(this);
+}
+
+std::vector<const Point*> all_points() {
+  const auto points = sorted_registry();
+  return {points.begin(), points.end()};
+}
+
+const Point* find_point(std::string_view id) { return find_mutable(id); }
+
+std::size_t point_count() { return registry().size(); }
+
+std::vector<std::string> duplicate_ids() {
+  std::vector<std::string> dups;
+  const auto points = sorted_registry();
+  for (std::size_t i = 1; i < points.size(); ++i)
+    if (std::string_view(points[i - 1]->id) == points[i]->id &&
+        (dups.empty() || dups.back() != points[i]->id))
+      dups.emplace_back(points[i]->id);
+  return dups;
+}
+
+bool ActiveSet::arm(std::string_view id) {
+  Point* p = find_mutable(id);
+  if (p == nullptr) return false;
+  p->armed.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool ActiveSet::disarm(std::string_view id) {
+  Point* p = find_mutable(id);
+  if (p == nullptr) return false;
+  p->armed.store(false, std::memory_order_relaxed);
+  return true;
+}
+
+void ActiveSet::disarm_all() {
+  for (Point* p : registry()) p->armed.store(false, std::memory_order_relaxed);
+}
+
+std::size_t ActiveSet::armed_count() {
+  std::size_t n = 0;
+  for (const Point* p : registry())
+    if (p->on()) ++n;
+  return n;
+}
+
+std::vector<const Point*> ActiveSet::armed() {
+  std::vector<const Point*> on;
+  for (const Point* p : sorted_registry())
+    if (p->on()) on.push_back(p);
+  return on;
+}
+
+ScopedMutant::ScopedMutant(std::string_view id)
+    : id_(id), ok_(ActiveSet::arm(id)) {}
+
+ScopedMutant::~ScopedMutant() {
+  if (ok_) ActiveSet::disarm(id_);
+}
+
+}  // namespace snapstab::mutate

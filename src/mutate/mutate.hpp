@@ -1,0 +1,163 @@
+// mutate.hpp — the compile-time mutation-point registry.
+//
+// The repo's correctness story is behavioral: spec checkers, golden traces,
+// fuzzed initial configurations and the fault-engine chaos campaign. This
+// subsystem answers "would those notice if a transition rule were subtly
+// wrong?" with a measured kill matrix instead of a shrug (ROADMAP's
+// adversarial-coverage-harness item, in the spirit of mull).
+//
+// A MUTATION_POINT compiles BOTH the live expression and a deliberately
+// wrong mutant into the binary and selects per-run:
+//
+//   if (st_.state[chi] == p_state &&
+//       MUTATION_POINT("pif.a3.count_past_bound",
+//                      st_.state[chi] < flag_bound_, true)) ...
+//
+// Disarmed (the default, and the only state ordinary builds ever see) the
+// point evaluates the live side; mutate::ActiveSet::arm("id") flips one
+// point process-globally so the next run executes the mutant. Every point
+// self-registers at static-initialization time — a point on a never-executed
+// path still enumerates — and tools/mutant_hunter drives each registered
+// mutant through the cheapest-first kill ladder (spec checkers -> goldens ->
+// seeded fuzz -> chaos campaign), failing loudly on any survivor.
+//
+// Cost when disarmed: one relaxed atomic bool load + a predictable branch
+// per evaluation (micro_bench's engine-floor suite pins that this stays
+// within noise). Arming/disarming is mutation-testing harness territory:
+// do it from one thread, between runs, never mid-execution.
+//
+// Macro arguments containing top-level commas (function calls with several
+// arguments) must be parenthesized: MUTATION_POINT("id", (f(a, b)), (g(a))).
+//
+// Equivalent mutants — points whose mutant is provably indistinguishable
+// from the live expression in every execution — are declared with
+// MUTATION_EQUIVALENT plus a comment carrying the proof sketch; the hunter
+// expects them to SURVIVE the ladder and fails if one is killed (a killed
+// "equivalent" means the annotation is wrong).
+#ifndef SNAPSTAB_MUTATE_MUTATE_HPP
+#define SNAPSTAB_MUTATE_MUTATE_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snapstab::mutate {
+
+// One registered mutation site. Immutable after registration except for
+// `armed`, which the ActiveSet flips between runs. The relaxed load is
+// deliberate: disarmed points must cost a plain byte load on the hot path,
+// and the arm/run/disarm protocol is single-threaded by contract.
+struct Point {
+  const char* id;        // unique, dot-namespaced by core: "pif.a1.stale_state"
+  const char* live;      // stringified live expression (for the kill matrix)
+  const char* mutant;    // stringified mutant expression
+  const char* file;
+  int line;
+  bool equivalent;       // declared via MUTATION_EQUIVALENT
+  std::atomic<bool> armed{false};
+
+  Point(const char* id_, const char* live_, const char* mutant_,
+        const char* file_, int line_, bool equivalent_) noexcept;
+
+  bool on() const noexcept { return armed.load(std::memory_order_relaxed); }
+};
+
+namespace detail {
+
+// A structural string-literal wrapper usable as a C++20 non-type template
+// parameter; one Reg instantiation per (id, live, mutant, site) gives each
+// MUTATION_POINT exactly one Point with eager (pre-main) registration.
+template <std::size_t N>
+struct FixedStr {
+  char s[N] = {};
+  // NOLINTNEXTLINE(google-explicit-constructor): deduction from literals
+  consteval FixedStr(const char (&x)[N]) {
+    for (std::size_t i = 0; i < N; ++i) s[i] = x[i];
+  }
+};
+
+template <FixedStr Id, FixedStr Live, FixedStr Mut, FixedStr File, int Line,
+          bool Equivalent>
+struct Reg {
+  static inline Point point{Id.s, Live.s, Mut.s, File.s, Line, Equivalent};
+};
+
+}  // namespace detail
+
+// --- registry enumeration (sorted by id — stable across link order) --------
+
+// Every registered point, sorted lexicographically by id.
+std::vector<const Point*> all_points();
+const Point* find_point(std::string_view id);
+std::size_t point_count();
+// Ids registered more than once (must be empty; test_mutate asserts).
+std::vector<std::string> duplicate_ids();
+
+// Expected census, updated whenever a point is added or removed; the
+// registry test and the hunter both fail on drift, in the same spirit as
+// the kServiceIdCount/service_name static_assert pairing.
+struct ExpectedCoreCount {
+  const char* prefix;  // id namespace, e.g. "pif."
+  int points;          // total points under the prefix
+  int equivalent;      // MUTATION_EQUIVALENT points among them
+};
+inline constexpr ExpectedCoreCount kExpectedCoreCounts[] = {
+    {"el.", 6, 0},  {"fwd.", 11, 0}, {"idl.", 7, 1}, {"me.", 10, 1},
+    {"pif.", 9, 0}, {"reset.", 6, 0}, {"snap.", 7, 0}, {"td.", 8, 1},
+};
+inline constexpr int kMutationPointCount = 6 + 11 + 7 + 10 + 9 + 6 + 7 + 8;
+inline constexpr int kEquivalentMutantCount = 3;
+
+// --- the process-global active set -----------------------------------------
+
+// Selects which registered mutants the current run executes. All methods
+// are single-threaded-harness territory (see file comment).
+class ActiveSet {
+ public:
+  // Arms the point; returns false (and arms nothing) for an unknown id.
+  static bool arm(std::string_view id);
+  static bool disarm(std::string_view id);
+  static void disarm_all();
+  static std::size_t armed_count();
+  static std::vector<const Point*> armed();
+};
+
+// RAII single-mutant scope for tests: arms on construction (asserting the
+// id resolves), disarms on destruction.
+class ScopedMutant {
+ public:
+  explicit ScopedMutant(std::string_view id);
+  ~ScopedMutant();
+  ScopedMutant(const ScopedMutant&) = delete;
+  ScopedMutant& operator=(const ScopedMutant&) = delete;
+
+  bool ok() const noexcept { return ok_; }
+
+ private:
+  std::string id_;
+  bool ok_;
+};
+
+}  // namespace snapstab::mutate
+
+// The mutation-point selector. Both sides compile in every build; the
+// disarmed fast path evaluates only `live`. `id` must be a string literal,
+// unique across the program, namespaced "<core>.<action>.<flavor>".
+#define SNAPSTAB_MUTATION_POINT_(id, live, mutant, equivalent)             \
+  (::snapstab::mutate::detail::Reg<id, #live, #mutant, __FILE__, __LINE__, \
+                                   equivalent>::point.on()                 \
+       ? (mutant)                                                          \
+       : (live))
+
+#define MUTATION_POINT(id, live, mutant) \
+  SNAPSTAB_MUTATION_POINT_(id, live, mutant, false)
+
+// A mutant argued unobservable in every execution; the comment at the use
+// site must carry the argument. The hunter lists these separately and
+// fails if one is ever killed.
+#define MUTATION_EQUIVALENT(id, live, mutant) \
+  SNAPSTAB_MUTATION_POINT_(id, live, mutant, true)
+
+#endif  // SNAPSTAB_MUTATE_MUTATE_HPP

@@ -1,0 +1,182 @@
+// test_mutate — the mutation-point registry and the kill ladder's
+// perturbation contract.
+//
+// The registry half pins enumeration (stable, duplicate-free, census
+// matching mutate.hpp's source-of-truth table). The behavioral half pins
+// the two directions of the coverage claim:
+//
+//   - all mutants DISARMED, the goldens are bit-identical to the pre-PR
+//     recordings (the harness is zero-cost in observable behavior);
+//   - each non-equivalent mutant ARMED perturbs at least one kill-ladder
+//     config (a failed assertion or a changed trace digest), while the
+//     declared-equivalent mutants perturb none of them.
+//
+// tools/mutant_hunter additionally requires the perturbation to be a *kill*
+// (a failing config); here "any observable difference" is the weaker, faster
+// invariant that catches a silently-disconnected mutation point.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mutate/mutate.hpp"
+#include "mutate_scenarios.hpp"
+
+namespace snapstab {
+namespace {
+
+using mutate::ActiveSet;
+using mutate::Point;
+using mutatetest::KillConfig;
+using mutatetest::Outcome;
+using mutatetest::kill_configs;
+
+TEST(MutateRegistry, EnumerationIsStableAndDuplicateFree) {
+  EXPECT_TRUE(mutate::duplicate_ids().empty());
+  const auto points = mutate::all_points();
+  EXPECT_EQ(points.size(), mutate::point_count());
+  EXPECT_EQ(points.size(),
+            static_cast<std::size_t>(mutate::kMutationPointCount));
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_LT(std::string_view(points[i - 1]->id),
+              std::string_view(points[i]->id))
+        << "enumeration must be strictly sorted by id";
+  for (const Point* p : points) {
+    EXPECT_EQ(mutate::find_point(p->id), p);
+    EXPECT_NE(std::strchr(p->id, '.'), nullptr)
+        << p->id << " must be dot-namespaced by core";
+    EXPECT_NE(p->live, nullptr);
+    EXPECT_NE(p->mutant, nullptr);
+    EXPECT_STRNE(p->live, p->mutant)
+        << p->id << ": a mutant identical to the live expression is dead code";
+  }
+  EXPECT_EQ(mutate::find_point("no.such.mutant"), nullptr);
+}
+
+TEST(MutateRegistry, CensusMatchesTheSourceOfTruthTable) {
+  const auto points = mutate::all_points();
+  int table_total = 0, table_equivalent = 0, seen_total = 0;
+  for (const auto& expect : mutate::kExpectedCoreCounts) {
+    int n = 0, eq = 0;
+    for (const Point* p : points)
+      if (std::strncmp(p->id, expect.prefix, std::strlen(expect.prefix)) ==
+          0) {
+        ++n;
+        if (p->equivalent) ++eq;
+      }
+    EXPECT_EQ(n, expect.points) << "census drift under " << expect.prefix;
+    EXPECT_EQ(eq, expect.equivalent)
+        << "equivalent-count drift under " << expect.prefix;
+    table_total += expect.points;
+    table_equivalent += expect.equivalent;
+    seen_total += n;
+  }
+  EXPECT_EQ(table_total, mutate::kMutationPointCount);
+  EXPECT_EQ(table_equivalent, mutate::kEquivalentMutantCount);
+  EXPECT_EQ(seen_total, static_cast<int>(points.size()))
+      << "every registered point must live under a censused prefix";
+}
+
+TEST(MutateActiveSet, ArmDisarmProtocol) {
+  ActiveSet::disarm_all();
+  EXPECT_EQ(ActiveSet::armed_count(), 0u);
+  EXPECT_FALSE(ActiveSet::arm("no.such.mutant"));
+  EXPECT_EQ(ActiveSet::armed_count(), 0u);
+
+  const Point* first = mutate::all_points().front();
+  EXPECT_TRUE(ActiveSet::arm(first->id));
+  EXPECT_EQ(ActiveSet::armed_count(), 1u);
+  EXPECT_TRUE(first->on());
+  const auto armed = ActiveSet::armed();
+  ASSERT_EQ(armed.size(), 1u);
+  EXPECT_EQ(armed.front(), first);
+  EXPECT_TRUE(ActiveSet::disarm(first->id));
+  EXPECT_FALSE(first->on());
+  EXPECT_EQ(ActiveSet::armed_count(), 0u);
+
+  {
+    mutate::ScopedMutant scoped(first->id);
+    EXPECT_TRUE(scoped.ok());
+    EXPECT_TRUE(first->on());
+  }
+  EXPECT_FALSE(first->on());
+  mutate::ScopedMutant bogus("no.such.mutant");
+  EXPECT_FALSE(bogus.ok());
+  EXPECT_EQ(ActiveSet::armed_count(), 0u);
+}
+
+TEST(MutateDisarmed, GoldensAreBitIdenticalToPrePrRecordings) {
+  ActiveSet::disarm_all();
+  int golden_seen = 0;
+  for (const KillConfig& cfg : kill_configs()) {
+    if (std::strcmp(cfg.stage, "golden") != 0) continue;
+    ++golden_seen;
+    const Outcome out = cfg.run();
+    EXPECT_TRUE(out.pass) << cfg.name << ": " << out.detail;
+  }
+  EXPECT_EQ(golden_seen, 7) << "every recorded golden scenario is replayed";
+}
+
+// The perturbation sweep skips the chaos stage: those campaigns run long and
+// the hunter exercises them; every mutant already perturbs a cheaper stage.
+std::vector<const KillConfig*> sweep_order(const Point& p) {
+  const char* dot = std::strchr(p.id, '.');
+  const std::string core(p.id, dot ? static_cast<std::size_t>(dot - p.id)
+                                   : std::strlen(p.id));
+  std::vector<const KillConfig*> order;
+  for (int pass = 0; pass < 2; ++pass)
+    for (const KillConfig& cfg : kill_configs()) {
+      if (std::strcmp(cfg.stage, "chaos") == 0) continue;
+      const bool mine =
+          std::string(cfg.name).find("." + core) != std::string::npos;
+      if ((pass == 0) == mine) order.push_back(&cfg);
+    }
+  return order;
+}
+
+TEST(MutateArmed, EveryMutantPerturbsOrIsEquivalent) {
+  ActiveSet::disarm_all();
+  std::map<std::string, Outcome> baseline;
+  for (const KillConfig& cfg : kill_configs()) {
+    if (std::strcmp(cfg.stage, "chaos") == 0) continue;
+    const Outcome out = cfg.run();
+    ASSERT_TRUE(out.pass) << "baseline " << cfg.name << ": " << out.detail;
+    baseline.emplace(cfg.name, out);
+  }
+
+  for (const Point* p : mutate::all_points()) {
+    mutate::ScopedMutant armed(p->id);
+    ASSERT_TRUE(armed.ok());
+    if (p->equivalent) {
+      // An equivalent mutant must be invisible to the whole sweep.
+      for (const KillConfig* cfg : sweep_order(*p)) {
+        const Outcome out = cfg->run();
+        const Outcome& base = baseline.at(cfg->name);
+        EXPECT_TRUE(out.pass)
+            << p->id << " (declared equivalent) failed " << cfg->name << ": "
+            << out.detail;
+        EXPECT_EQ(out.digest, base.digest)
+            << p->id << " (declared equivalent) perturbed " << cfg->name;
+      }
+      continue;
+    }
+    bool perturbed = false;
+    for (const KillConfig* cfg : sweep_order(*p)) {
+      const Outcome out = cfg->run();
+      const Outcome& base = baseline.at(cfg->name);
+      if (!out.pass || out.digest != base.digest) {
+        perturbed = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(perturbed)
+        << p->id << " is observationally dead across the non-chaos ladder — "
+        << "either the point is disconnected or it needs a killing config";
+  }
+}
+
+}  // namespace
+}  // namespace snapstab

@@ -1,0 +1,297 @@
+// mutant_hunter — enumerate every registered mutation point, drive each
+// mutant through the cheapest-first kill ladder, and emit the kill matrix.
+//
+//   mutant_hunter [--smoke] [--json <path>] [--list]
+//
+// The ladder (tests/mutate_scenarios.hpp) runs stages in fixed order —
+// spec checkers, golden traces, seeded fuzz, a shortened chaos campaign —
+// and stops at the first config that fails with the mutant armed; that
+// failure is the kill. Within each stage, configs whose name shares the
+// mutant's core prefix run first (a PIF mutant meets the PIF specs before
+// anything else), which keeps steps-to-kill honest about the cheapest
+// killing evidence.
+//
+// Exit status:
+//   0 — every non-equivalent mutant killed, every MUTATION_EQUIVALENT
+//       survivor confirmed surviving;
+//   1 — a non-equivalent mutant survived the whole ladder (add a killing
+//       config or annotate it MUTATION_EQUIVALENT with a proof comment),
+//       an "equivalent" mutant was killed (the annotation is wrong), the
+//       registry drifted from the expected census, or the baseline failed.
+//
+// --smoke hunts only the first two mutants of each core (CI's quick job);
+// --json writes the matrix (the full run is a Release-job artifact).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mutate/mutate.hpp"
+#include "mutate_scenarios.hpp"
+
+namespace {
+
+using snapstab::mutate::ActiveSet;
+using snapstab::mutate::Point;
+using snapstab::mutatetest::KillConfig;
+using snapstab::mutatetest::Outcome;
+using snapstab::mutatetest::kill_configs;
+
+struct Verdict {
+  const Point* point = nullptr;
+  bool killed = false;
+  std::string stage;
+  std::string config;
+  std::string detail;
+  std::uint64_t steps_to_kill = 0;  // steps burned up to and incl. the kill
+  int configs_tried = 0;
+};
+
+const char* core_prefix(const Point& p) {
+  // "pif.a1.stale_state" -> "pif." (the registered census prefixes).
+  static thread_local std::string prefix;
+  const char* dot = std::strchr(p.id, '.');
+  prefix.assign(p.id, dot ? static_cast<std::size_t>(dot - p.id) + 1
+                          : std::strlen(p.id));
+  return prefix.c_str();
+}
+
+// The ladder for one mutant: stage order fixed, and within each stage the
+// configs naming the mutant's own core run before the cross-cutting ones.
+std::vector<const KillConfig*> ladder_for(const Point& p) {
+  static const char* kStages[] = {"spec", "golden", "fuzz", "chaos"};
+  const std::string prefix = core_prefix(p);   // e.g. "pif."
+  const std::string core = prefix.substr(0, prefix.size() - 1);  // "pif"
+  std::vector<const KillConfig*> order;
+  for (const char* stage : kStages) {
+    for (int pass = 0; pass < 2; ++pass)
+      for (const auto& cfg : kill_configs()) {
+        if (std::strcmp(cfg.stage, stage) != 0) continue;
+        const bool mine =
+            std::string(cfg.name).find("." + core + ".") != std::string::npos ||
+            std::string(cfg.name).find("." + core) != std::string::npos;
+        if ((pass == 0) == mine) order.push_back(&cfg);
+      }
+  }
+  return order;
+}
+
+Verdict hunt(const Point& p) {
+  Verdict v;
+  v.point = &p;
+  snapstab::mutate::ScopedMutant armed(p.id);
+  for (const KillConfig* cfg : ladder_for(p)) {
+    const Outcome out = cfg->run();
+    ++v.configs_tried;
+    v.steps_to_kill += out.steps;
+    if (!out.pass) {
+      v.killed = true;
+      v.stage = cfg->stage;
+      v.config = cfg->name;
+      v.detail = out.detail;
+      return v;
+    }
+  }
+  return v;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_matrix(const char* path, const std::vector<Verdict>& verdicts,
+                  int killed, int survivors, int equivalents) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "mutant_hunter: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"registered\": %zu,\n  \"killed\": %d,\n"
+               "  \"survivors\": %d,\n  \"equivalent\": %d,\n"
+               "  \"mutants\": [\n",
+               verdicts.size(), killed, survivors, equivalents);
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    const Verdict& v = verdicts[i];
+    std::fprintf(
+        f,
+        "    {\"id\": \"%s\", \"file\": \"%s\", \"line\": %d,\n"
+        "     \"live\": \"%s\", \"mutant\": \"%s\",\n"
+        "     \"equivalent\": %s, \"killed\": %s, \"stage\": \"%s\",\n"
+        "     \"config\": \"%s\", \"detail\": \"%s\",\n"
+        "     \"configs_tried\": %d, \"steps_to_kill\": %llu}%s\n",
+        v.point->id, json_escape(v.point->file).c_str(), v.point->line,
+        json_escape(v.point->live).c_str(),
+        json_escape(v.point->mutant).c_str(),
+        v.point->equivalent ? "true" : "false", v.killed ? "true" : "false",
+        v.stage.c_str(), v.config.c_str(), json_escape(v.detail).c_str(),
+        v.configs_tried,
+        static_cast<unsigned long long>(v.steps_to_kill),
+        i + 1 < verdicts.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool list_only = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--list") == 0) list_only = true;
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+    else {
+      std::fprintf(stderr,
+                   "usage: mutant_hunter [--smoke] [--json <path>] [--list]\n");
+      return 2;
+    }
+  }
+
+  // Registry sanity: the census must match the source-of-truth table.
+  const auto dups = snapstab::mutate::duplicate_ids();
+  if (!dups.empty()) {
+    for (const auto& d : dups)
+      std::fprintf(stderr, "mutant_hunter: duplicate mutation id %s\n",
+                   d.c_str());
+    return 1;
+  }
+  const auto points = snapstab::mutate::all_points();
+  if (points.size() !=
+      static_cast<std::size_t>(snapstab::mutate::kMutationPointCount)) {
+    std::fprintf(stderr,
+                 "mutant_hunter: registry drift: %zu points registered, "
+                 "census says %d — update kExpectedCoreCounts\n",
+                 points.size(), snapstab::mutate::kMutationPointCount);
+    return 1;
+  }
+  for (const auto& expect : snapstab::mutate::kExpectedCoreCounts) {
+    int n = 0, eq = 0;
+    for (const Point* p : points)
+      if (std::strncmp(p->id, expect.prefix, std::strlen(expect.prefix)) ==
+          0) {
+        ++n;
+        if (p->equivalent) ++eq;
+      }
+    if (n != expect.points || eq != expect.equivalent) {
+      std::fprintf(stderr,
+                   "mutant_hunter: census drift under %s: %d points (%d "
+                   "equivalent), expected %d (%d)\n",
+                   expect.prefix, n, eq, expect.points, expect.equivalent);
+      return 1;
+    }
+  }
+
+  if (list_only) {
+    for (const Point* p : points)
+      std::printf("%-28s %s %s:%d\n    live:   %s\n    mutant: %s\n", p->id,
+                  p->equivalent ? "[equivalent]" : "            ", p->file,
+                  p->line, p->live, p->mutant);
+    return 0;
+  }
+
+  // Baseline: with nothing armed, every config must pass — otherwise kills
+  // would be indistinguishable from a broken ladder.
+  ActiveSet::disarm_all();
+  for (const auto& cfg : kill_configs()) {
+    const Outcome out = cfg.run();
+    if (!out.pass) {
+      std::fprintf(stderr,
+                   "mutant_hunter: BASELINE FAILURE in %s: %s\n"
+                   "(the ladder itself is broken; fix before hunting)\n",
+                   cfg.name, out.detail.c_str());
+      return 1;
+    }
+  }
+  std::printf("baseline: %zu configs pass disarmed\n", kill_configs().size());
+
+  // Select mutants: full registry, or --smoke's two-per-core sample.
+  std::vector<const Point*> selected;
+  if (smoke) {
+    std::string last_prefix;
+    int taken = 0;
+    for (const Point* p : points) {  // sorted by id => grouped by prefix
+      const std::string prefix = core_prefix(*p);
+      if (prefix != last_prefix) {
+        last_prefix = prefix;
+        taken = 0;
+      }
+      if (taken < 2) {
+        selected.push_back(p);
+        ++taken;
+      }
+    }
+  } else {
+    selected.assign(points.begin(), points.end());
+  }
+
+  std::vector<Verdict> verdicts;
+  int killed = 0, survivors = 0, equivalents = 0, false_equivalents = 0;
+  for (const Point* p : selected) {
+    Verdict v = hunt(*p);
+    if (p->equivalent) {
+      ++equivalents;
+      if (v.killed) {
+        ++false_equivalents;
+        std::printf("%-28s KILLED by %-22s  ** declared equivalent! **\n",
+                    p->id, v.config.c_str());
+      } else {
+        std::printf("%-28s equivalent, survives (as proven)\n", p->id);
+      }
+    } else if (v.killed) {
+      ++killed;
+      std::printf("%-28s killed  %-8s %-24s %9llu steps\n", p->id,
+                  v.stage.c_str(), v.config.c_str(),
+                  static_cast<unsigned long long>(v.steps_to_kill));
+    } else {
+      ++survivors;
+      std::printf("%-28s SURVIVED the whole ladder (%d configs)\n", p->id,
+                  v.configs_tried);
+    }
+    verdicts.push_back(std::move(v));
+  }
+
+  std::printf(
+      "\nkill matrix: %zu hunted, %d killed, %d survivors, %d equivalent\n",
+      selected.size(), killed, survivors, equivalents);
+  if (json_path)
+    write_matrix(json_path, verdicts, killed, survivors, equivalents);
+
+  if (survivors > 0) {
+    std::fprintf(stderr,
+                 "mutant_hunter: %d non-equivalent mutant(s) survived — add "
+                 "a killing config or prove equivalence\n",
+                 survivors);
+    return 1;
+  }
+  if (false_equivalents > 0) {
+    std::fprintf(stderr,
+                 "mutant_hunter: %d declared-equivalent mutant(s) were "
+                 "killed — the equivalence annotation is wrong\n",
+                 false_equivalents);
+    return 1;
+  }
+  return 0;
+}
