@@ -57,7 +57,8 @@ void Injector::open_window(sim::Simulator& sim, std::uint32_t idx) {
     case FaultKind::EdgeDuplicate:
       break;  // per-poll probabilistic effects only (apply_active)
     case FaultKind::LinkPartition:
-      (void)apply_active(sim, idx);  // wipe the cut immediately
+    case FaultKind::LinkDown:
+      (void)apply_active(sim, idx);  // wipe immediately
       break;
   }
 }
@@ -106,6 +107,15 @@ int Injector::apply_active(sim::Simulator& sim, std::uint32_t idx) {
         ++wiped;
       }
       return wiped;
+    }
+    case FaultKind::LinkDown: {
+      // The edge is fully dead while the window is open: every poll wipes
+      // whatever arrived since the last one.
+      sim::Channel& ch = sim.network().edge_channel(w.edge);
+      if (ch.empty()) return 0;
+      counters_.down_wipes += ch.size();
+      ch.clear();
+      return 1;
     }
   }
   return 0;

@@ -48,6 +48,7 @@ class Injector {
     std::uint64_t drops = 0;            // adversarial head drops
     std::uint64_t duplicates = 0;       // head re-enqueues
     std::uint64_t partition_wipes = 0;  // messages wiped crossing a cut
+    std::uint64_t down_wipes = 0;       // messages wiped on a dead link
   };
   const Counters& counters() const noexcept { return counters_; }
 

@@ -29,33 +29,38 @@ FaultPlan FaultPlan::compile(const FaultPlanSpec& spec,
     w.end = w.begin + spec.min_len +
             rng.below(spec.max_len - spec.min_len + 1);
   };
+  // Target draw shared by the independent windows and the Cascade pattern:
+  // the per-kind draw sequence is part of the replay contract.
+  const auto draw_target = [&](FaultWindow& w) {
+    switch (w.kind) {
+      case FaultKind::CrashRestart:
+        w.process = static_cast<sim::ProcessId>(
+            rng.below(static_cast<std::uint64_t>(n)));
+        break;
+      case FaultKind::ChannelGarbage:
+      case FaultKind::EdgeLoss:
+      case FaultKind::EdgeDuplicate:
+      case FaultKind::LinkDown:
+        w.edge = static_cast<sim::EdgeId>(
+            rng.below(static_cast<std::uint64_t>(edges)));
+        break;
+      case FaultKind::LinkPartition: {
+        // A non-trivial cut: side A is a uniform non-empty proper subset.
+        const std::uint64_t full = n == 64 ? ~0ull : ((1ull << n) - 1);
+        std::uint64_t mask = 0;
+        while (mask == 0 || mask == full) mask = rng.next() & full;
+        w.partition_mask = mask;
+        break;
+      }
+    }
+  };
   const auto push = [&](int count, FaultKind kind) {
     for (int i = 0; i < count; ++i) {
       FaultWindow w;
       w.kind = kind;
       draw_span(w);
       w.rate = spec.rate;
-      switch (kind) {
-        case FaultKind::CrashRestart:
-          w.process = static_cast<sim::ProcessId>(
-              rng.below(static_cast<std::uint64_t>(n)));
-          break;
-        case FaultKind::ChannelGarbage:
-        case FaultKind::EdgeLoss:
-        case FaultKind::EdgeDuplicate:
-          w.edge = static_cast<sim::EdgeId>(
-              rng.below(static_cast<std::uint64_t>(edges)));
-          break;
-        case FaultKind::LinkPartition: {
-          // A non-trivial cut: side A is a uniform non-empty proper subset.
-          const std::uint64_t full =
-              n == 64 ? ~0ull : ((1ull << n) - 1);
-          std::uint64_t mask = 0;
-          while (mask == 0 || mask == full) mask = rng.next() & full;
-          w.partition_mask = mask;
-          break;
-        }
-      }
+      draw_target(w);
       plan.windows_.push_back(w);
     }
   };
@@ -64,6 +69,112 @@ FaultPlan FaultPlan::compile(const FaultPlanSpec& spec,
   push(spec.loss_windows, FaultKind::EdgeLoss);
   push(spec.duplicate_windows, FaultKind::EdgeDuplicate);
   push(spec.partition_windows, FaultKind::LinkPartition);
+
+  // Correlated storm patterns, compiled after (and drawing strictly after)
+  // the independent windows: a patterns-free spec consumes the exact RNG
+  // stream it consumed before patterns existed, so storms-off plans —
+  // windows, digest, and every downstream draw — stay bit-identical.
+  const auto compile_pattern = [&](const PatternSpec& ps) {
+    SNAPSTAB_CHECK_MSG(ps.count >= 1 && ps.len >= 1,
+                       "pattern needs count >= 1 and len >= 1");
+    const auto emit = [&](FaultKind kind, std::uint64_t begin) {
+      FaultWindow w;
+      w.kind = kind;
+      w.begin = begin;
+      w.end = begin + ps.len;
+      w.rate = ps.rate;
+      plan.windows_.push_back(w);
+      return &plan.windows_.back();
+    };
+    switch (ps.kind) {
+      case PatternKind::RollingPartition: {
+        // A cut sweeping the process space: `count` contiguous (wrapping)
+        // segments of ~n/count processes, cut off one after another across
+        // the span, starting from a drawn rotation offset.
+        SNAPSTAB_CHECK_MSG(n <= 64,
+                           "rolling partitions encode cuts as 64-bit masks");
+        const std::uint64_t full = n == 64 ? ~0ull : ((1ull << n) - 1);
+        const int seg = std::max(1, n / ps.count);
+        const std::uint64_t stride =
+            std::max<std::uint64_t>(1, ps.span / static_cast<std::uint64_t>(
+                                           ps.count));
+        const int offset =
+            static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+        for (int i = 0; i < ps.count; ++i) {
+          std::uint64_t mask = 0;
+          for (int j = 0; j < seg; ++j)
+            mask |= 1ull << ((offset + i * seg + j) % n);
+          if (mask == 0 || mask == full) continue;  // trivial cut: no-op
+          FaultWindow* w = emit(FaultKind::LinkPartition,
+                                ps.begin + static_cast<std::uint64_t>(i) *
+                                               stride);
+          w->partition_mask = mask;
+        }
+        break;
+      }
+      case PatternKind::CrashStorm: {
+        // Burst-arrival crash-restarts on k distinct hosts: victims via a
+        // partial Fisher–Yates shuffle, begins a random walk over the span
+        // with uniform gaps of mean span/count (integer Poisson-burst
+        // stand-in — no libm, so digests stay cross-platform stable).
+        const int k = std::min(ps.count, n);
+        std::vector<sim::ProcessId> victims(static_cast<std::size_t>(n));
+        for (int p = 0; p < n; ++p)
+          victims[static_cast<std::size_t>(p)] = p;
+        for (int i = 0; i < k; ++i) {
+          const int j =
+              i + static_cast<int>(rng.below(
+                      static_cast<std::uint64_t>(n - i)));
+          std::swap(victims[static_cast<std::size_t>(i)],
+                    victims[static_cast<std::size_t>(j)]);
+        }
+        const std::uint64_t mean =
+            std::max<std::uint64_t>(1, ps.span / static_cast<std::uint64_t>(
+                                           ps.count));
+        std::uint64_t t = ps.begin;
+        for (int i = 0; i < k; ++i) {
+          t += rng.below(2 * mean + 1);
+          FaultWindow* w = emit(FaultKind::CrashRestart, t);
+          w->process = victims[static_cast<std::size_t>(i)];
+        }
+        break;
+      }
+      case PatternKind::FlappingLink: {
+        // Periodic down-phases on one link, both directions each phase.
+        SNAPSTAB_CHECK_MSG(edges > 0 && ps.edge < edges,
+                           "flapping-link needs an edge in range");
+        const sim::EdgeId e =
+            ps.edge >= 0 ? ps.edge
+                         : static_cast<sim::EdgeId>(rng.below(
+                               static_cast<std::uint64_t>(edges)));
+        const sim::EdgeId rev =
+            topology.edge_between(topology.edge_dst(e), topology.edge_src(e));
+        for (int f = 0; f < ps.count; ++f) {
+          const std::uint64_t begin =
+              ps.begin + static_cast<std::uint64_t>(f) * ps.period;
+          emit(FaultKind::LinkDown, begin)->edge = e;
+          emit(FaultKind::LinkDown, begin)->edge = rev;
+        }
+        break;
+      }
+      case PatternKind::Cascade: {
+        // One trigger window, then `count` dependent follow-ons, each
+        // lagging its predecessor by a drawn 1..lag_max steps — the
+        // targets drawn exactly like independent windows of that kind.
+        const std::uint64_t lag_max = std::max<std::uint64_t>(1, ps.lag_max);
+        FaultWindow* w = emit(ps.trigger, ps.begin);
+        draw_target(*w);
+        std::uint64_t t = ps.begin;
+        for (int i = 0; i < ps.count; ++i) {
+          t += 1 + rng.below(lag_max);
+          w = emit(ps.follow, t);
+          draw_target(*w);
+        }
+        break;
+      }
+    }
+  };
+  for (const PatternSpec& ps : spec.patterns) compile_pattern(ps);
 
   // Canonical window order: by begin step, then kind, then target — the
   // Injector applies same-step openings in this order, so the order is part

@@ -30,16 +30,16 @@ enum class FaultKind : std::uint8_t {
   EdgeLoss,        // per-poll probabilistic head drop on one directed edge
   EdgeDuplicate,   // per-poll probabilistic head re-enqueue on one edge
   LinkPartition,   // channels crossing a node cut wiped while open
+  LinkDown,        // one directed edge fully dead: every poll wipes it
 };
 
-inline constexpr int kFaultKindCount = 5;
+inline constexpr int kFaultKindCount = 6;
 
 // Exhaustive-switch constexpr name helper, matching service_name /
 // obs_kind_name: -Wswitch flags a missing enumerator, the static_assert
 // forces the count to track the enum.
 constexpr const char* fault_kind_name(FaultKind k) noexcept {
-  static_assert(kFaultKindCount ==
-                    static_cast<int>(FaultKind::LinkPartition) + 1,
+  static_assert(kFaultKindCount == static_cast<int>(FaultKind::LinkDown) + 1,
                 "new FaultKind: update kFaultKindCount and every switch");
   switch (k) {
     case FaultKind::CrashRestart: return "crash-restart";
@@ -47,9 +47,62 @@ constexpr const char* fault_kind_name(FaultKind k) noexcept {
     case FaultKind::EdgeLoss: return "edge-loss";
     case FaultKind::EdgeDuplicate: return "edge-duplicate";
     case FaultKind::LinkPartition: return "link-partition";
+    case FaultKind::LinkDown: return "link-down";
   }
   return "?";
 }
+
+// Correlated fault patterns: each PatternSpec compiles into a *sequence* of
+// plain FaultWindows (same event list, same Injector machinery, same
+// digest/repro contract) whose spans and targets are correlated the way
+// real outages are, instead of independently drawn.
+enum class PatternKind : std::uint8_t {
+  RollingPartition,  // a cut sweeping the process space segment by segment
+  CrashStorm,        // burst-arrival crash-restarts on k distinct hosts
+  FlappingLink,      // periodic up/down (LinkDown phases) on one link
+  Cascade,           // a trigger window spawning dependent follow-ons
+};
+
+inline constexpr int kPatternKindCount = 4;
+
+constexpr const char* pattern_kind_name(PatternKind k) noexcept {
+  static_assert(kPatternKindCount ==
+                    static_cast<int>(PatternKind::Cascade) + 1,
+                "new PatternKind: update kPatternKindCount and every switch");
+  switch (k) {
+    case PatternKind::RollingPartition: return "rolling-partition";
+    case PatternKind::CrashStorm: return "crash-storm";
+    case PatternKind::FlappingLink: return "flapping-link";
+    case PatternKind::Cascade: return "cascade";
+  }
+  return "?";
+}
+
+// One pattern-generator instance. Field use is kind-specific (the unused
+// ones are ignored):
+//   RollingPartition: `count` segments swept across [begin, begin+span),
+//                     each cut open for `len` steps (n <= 64).
+//   CrashStorm:       `count` crash windows of `len` steps on distinct
+//                     hosts, begins a burst-arrival walk over the span
+//                     (uniform gaps, mean span/count).
+//   FlappingLink:     `count` down-phases of `len` steps every `period`
+//                     steps on `edge` (both directions; -1 draws the edge).
+//   Cascade:          one `trigger` window at begin, then `count` dependent
+//                     `follow` windows, each lagging its predecessor by a
+//                     drawn 1..lag_max steps.
+struct PatternSpec {
+  PatternKind kind = PatternKind::CrashStorm;
+  std::uint64_t begin = 0;     // anchor step of the pattern
+  std::uint64_t span = 4'000;  // sweep / burst span (RollingPartition, CrashStorm)
+  int count = 3;               // segments | crashes | flaps | followers
+  std::uint64_t len = 400;     // length of each generated window
+  double rate = 1.0;           // carried into rate-bearing windows
+  std::uint64_t period = 800;  // FlappingLink: down+up cycle length
+  sim::EdgeId edge = -1;       // FlappingLink: directed edge; -1 = drawn
+  FaultKind trigger = FaultKind::CrashRestart;   // Cascade: trigger kind
+  FaultKind follow = FaultKind::ChannelGarbage;  // Cascade: follow-on kind
+  std::uint64_t lag_max = 600;  // Cascade: per-follower lag bound (>= 1)
+};
 
 // One timed fault window [begin, end) on the engine's step clock. The
 // target fields are kind-specific: `process` for CrashRestart, `edge` for
@@ -88,9 +141,21 @@ struct FaultPlanSpec {
   // headers over this many processes (see sim::FuzzOptions).
   int forward_header_n = 0;
 
+  // Correlated storm patterns, compiled AFTER the independent windows above
+  // (so a patterns-free spec draws the exact stream it always did). Each
+  // entry expands into several windows in the same sorted event list.
+  std::vector<PatternSpec> patterns;
+
+  // Independent (non-pattern) window count; the compiled plan may hold more
+  // windows when `patterns` is non-empty.
   int total_windows() const noexcept {
     return crash_windows + garbage_windows + loss_windows +
            duplicate_windows + partition_windows;
+  }
+  // True when compiling this spec can yield a non-empty plan — the load
+  // generator's faults-on switch.
+  bool enabled() const noexcept {
+    return total_windows() > 0 || !patterns.empty();
   }
 };
 

@@ -102,6 +102,14 @@ void RuntimeInjector::apply_window(const FaultWindow& w, bool opening) {
         while (mb.try_pop().has_value()) ++counters_.partition_wipes;
       }
       break;
+    case FaultKind::LinkDown: {
+      // The edge is dead for the window: drain whatever arrived since the
+      // last poll.
+      runtime::Mailbox& mb =
+          rt_->mailbox_mut(topo.edge_src(w.edge), topo.edge_dst(w.edge));
+      while (mb.try_pop().has_value()) ++counters_.down_wipes;
+      break;
+    }
   }
 }
 

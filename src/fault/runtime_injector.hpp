@@ -55,6 +55,7 @@ class RuntimeInjector {
     std::uint64_t drops = 0;
     std::uint64_t duplicates = 0;
     std::uint64_t partition_wipes = 0;
+    std::uint64_t down_wipes = 0;
   };
   // Stable only after stop().
   const Counters& counters() const noexcept { return counters_; }

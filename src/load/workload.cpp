@@ -393,7 +393,7 @@ ShardResult run_workload_shard(const WorkloadSpec& spec, int shard,
   const std::uint64_t driver_seed = splitmix64(mix);
   // Drawn ONLY for faulted specs, so faults-off runs keep the exact seed
   // streams (and bytes) they had before the fault engine existed.
-  const bool faults_on = spec.faults.total_windows() > 0;
+  const bool faults_on = spec.faults.enabled();
   const std::uint64_t fault_seed = faults_on ? splitmix64(mix) : 0;
 
   auto sim = svc::service_world(
@@ -432,6 +432,7 @@ ShardResult run_workload_shard(const WorkloadSpec& spec, int shard,
     out.fault_first_begin = plan.first_begin();
     out.fault_last_end = plan.last_end();
     out.plan_digest = plan.digest();
+    out.fault_windows = static_cast<std::uint64_t>(plan.windows().size());
   }
 
   Driver drv;
@@ -551,6 +552,7 @@ LoadReport run_sharded(const WorkloadSpec& spec, int shards, int threads) {
       if (s.fault_last_end > report.total.fault_last_end)
         report.total.fault_last_end = s.fault_last_end;
     }
+    report.total.fault_windows += s.fault_windows;
     report.total.completed_during_fault += s.completed_during_fault;
     report.total.completed_after_fault += s.completed_after_fault;
     report.total.recovery_hist.merge(s.recovery_hist);
@@ -636,10 +638,18 @@ std::string LoadReport::deterministic_json(const WorkloadSpec& spec) const {
   // Fault/recovery section ONLY for faulted specs: the faults-off byte
   // stream is pinned by the cross-thread determinism test and must not
   // move when this feature ships.
-  if (spec.faults.total_windows() > 0) {
+  if (spec.faults.enabled()) {
     const LatencyHistogram& r = total.recovery_hist;
     s += ",\"faults\":{\"windows\":";
     u(static_cast<std::uint64_t>(spec.faults.total_windows()));
+    // Storm patterns expand into extra compiled windows; emitted only when
+    // present so storms-off faulted runs keep their exact PR-8 bytes.
+    if (!spec.faults.patterns.empty()) {
+      s += ",\"patterns\":";
+      u(static_cast<std::uint64_t>(spec.faults.patterns.size()));
+      s += ",\"compiled_windows\":";
+      u(total.fault_windows);
+    }
     s += ",\"plan_seed\":";
     u(spec.faults.seed);
     s += ",\"retries\":";

@@ -69,9 +69,10 @@ struct WorkloadSpec {
   // in addition to the always-on engine-step latency.
   bool record_wall = false;
 
-  // Fault engine (inert when total_windows() == 0 — the default — in which
-  // case every draw stream and the deterministic_json bytes are identical
-  // to a faults-free build). Each shard compiles its own plan from
+  // Fault engine (inert when !enabled() — no windows, no patterns, the
+  // default — in which case every draw stream and the deterministic_json
+  // bytes are identical to a faults-free build). Each shard compiles its
+  // own plan from
   // (faults.seed, shard derivation) against its own topology and polls a
   // fault::Injector from the driver pump.
   fault::FaultPlanSpec faults;
@@ -124,6 +125,7 @@ struct ShardResult {
   std::uint64_t fault_first_begin = 0;
   std::uint64_t fault_last_end = 0;
   std::uint64_t plan_digest = 0;
+  std::uint64_t fault_windows = 0;  // compiled windows (patterns included)
   std::uint64_t completed_during_fault = 0;
   std::uint64_t completed_after_fault = 0;
   // Steps from the last window's close to the first completion of a session

@@ -5,6 +5,7 @@
 #include "sim/simulator.hpp"
 
 #include "common/check.hpp"
+#include "mutate/mutate.hpp"
 
 namespace snapstab::svc {
 
@@ -16,6 +17,18 @@ Supervisor::Supervisor(Client& client, SuperviseOptions options)
   SNAPSTAB_CHECK_MSG(opts_.attempt_deadline >= 1,
                      "a zero attempt deadline expires every attempt at birth");
   SNAPSTAB_CHECK_MSG(opts_.retry_budget >= 0, "retry budget must be >= 0");
+  if (opts_.breaker.enabled) {
+    SNAPSTAB_CHECK_MSG(opts_.breaker.failure_threshold >= 1 &&
+                           opts_.breaker.probe_quota >= 1 &&
+                           opts_.breaker.close_threshold >= 1,
+                       "breaker thresholds must be >= 1");
+    SNAPSTAB_CHECK_MSG(opts_.breaker.probe_admit > 0.0,
+                       "probe_admit == 0 would hold HalfOpen forever");
+  }
+  if (opts_.hedge.enabled)
+    SNAPSTAB_CHECK_MSG(opts_.hedge.max_hedges >= 1 &&
+                           opts_.hedge.hedge_after >= 1,
+                       "hedging needs max_hedges >= 1 and hedge_after >= 1");
 }
 
 std::uint64_t Supervisor::now() const {
@@ -41,21 +54,117 @@ Supervisor::Ticket Supervisor::supervise_desc(sim::ProcessId origin,
   Rec rec;
   rec.desc = d;
   rec.origin = origin;
-  rec.session = client_->submit_desc(origin, d);
-  rec.attempts = 1;
-  rec.st = St::Flying;
-  rec.deadline = now() + opts_.attempt_deadline;
   recs_.push_back(std::move(rec));
   ++live_;
+  Rec& r = recs_.back();
+  if (admit(r, now())) launch(r);
   return Ticket{static_cast<std::uint32_t>(recs_.size() - 1)};
 }
 
-void Supervisor::resubmit(Rec& rec) {
+void Supervisor::launch(Rec& rec) {
   rec.session = client_->submit_desc(rec.origin, rec.desc);
   ++rec.attempts;
-  ++stats_.resubmits;
   rec.st = St::Flying;
-  rec.deadline = now() + opts_.attempt_deadline;
+  const std::uint64_t t = now();
+  rec.deadline = t + opts_.attempt_deadline;
+  rec.flying_since = t;
+  rec.hedge_live = false;
+  rec.hedges = 0;
+}
+
+sim::ProcessId Supervisor::hedge_origin(const Rec& rec,
+                                        std::size_t index) const {
+  if (!opts_.hedge.spray_origins) return rec.origin;
+  const int n = client_->simulator() != nullptr
+                    ? client_->simulator()->topology().process_count()
+                    : client_->thread_runtime()->process_count();
+  if (n < 2) return rec.origin;
+  // Salt by the ticket index so concurrent hedges fan out across backups
+  // instead of re-creating a hotspot on one designated host.
+  sim::ProcessId target = static_cast<sim::ProcessId>(
+      (static_cast<std::size_t>(rec.origin) + 1 +
+       static_cast<std::size_t>(rec.hedges) + index) %
+      static_cast<std::size_t>(n));
+  if (target == rec.origin)
+    target = static_cast<sim::ProcessId>((target + 1) % n);
+  return target;
+}
+
+bool Supervisor::admit(Rec& rec, std::uint64_t t) {
+  rec.is_probe = false;
+  if (!opts_.breaker.enabled || settling_) return true;
+  Breaker& br = breaker_for(rec);
+  if (br.state == BreakerState::Open) {
+    if (MUTATION_POINT("sup.breaker.cooldown",
+                       (t >= br.opened_at + opts_.breaker.open_cooldown),
+                       true)) {
+      br.state = BreakerState::HalfOpen;
+      br.probe_successes = 0;
+      br.probes_in_flight = 0;
+    } else {
+      // Short-circuit: hold until the cooldown elapses, no attempt spent.
+      ++stats_.breaker_short_circuits;
+      rec.st = St::Backoff;
+      rec.resume_at = br.opened_at + opts_.breaker.open_cooldown;
+      return false;
+    }
+  }
+  if (br.state == BreakerState::HalfOpen) {
+    if (MUTATION_POINT("sup.probe.quota",
+                       (br.probes_in_flight < opts_.breaker.probe_quota),
+                       true) &&
+        rng_.chance(opts_.breaker.probe_admit)) {
+      rec.is_probe = true;
+      ++br.probes_in_flight;
+      ++stats_.probes;
+      return true;
+    }
+    ++stats_.breaker_short_circuits;
+    rec.st = St::Backoff;
+    rec.resume_at = t + (opts_.backoff_base > 0 ? opts_.backoff_base : 1);
+    return false;
+  }
+  return true;
+}
+
+void Supervisor::breaker_note_success(Rec& rec) {
+  if (!opts_.breaker.enabled) return;
+  Breaker& br = breaker_for(rec);
+  br.consecutive_failures = 0;
+  if (!rec.is_probe) return;
+  rec.is_probe = false;
+  if (br.probes_in_flight > 0) --br.probes_in_flight;
+  if (br.state != BreakerState::HalfOpen) return;
+  ++br.probe_successes;
+  if (MUTATION_POINT("sup.probe.close",
+                     (br.probe_successes >= opts_.breaker.close_threshold),
+                     false))
+    br.state = BreakerState::Closed;
+}
+
+void Supervisor::breaker_note_failure(Rec& rec, std::uint64_t t) {
+  if (!opts_.breaker.enabled) return;
+  Breaker& br = breaker_for(rec);
+  if (rec.is_probe) {
+    // One failed probe reopens the breaker: the service is still sick.
+    rec.is_probe = false;
+    if (br.probes_in_flight > 0) --br.probes_in_flight;
+    br.state = BreakerState::Open;
+    br.opened_at = t;
+    br.consecutive_failures = 0;
+    ++stats_.breaker_trips;
+    return;
+  }
+  ++br.consecutive_failures;
+  if (br.state == BreakerState::Closed &&
+      MUTATION_POINT(
+          "sup.breaker.trip",
+          (br.consecutive_failures >= opts_.breaker.failure_threshold),
+          false)) {
+    br.state = BreakerState::Open;
+    br.opened_at = t;
+    ++stats_.breaker_trips;
+  }
 }
 
 void Supervisor::settle(Rec& rec, SessionOutcome o) {
@@ -94,21 +203,49 @@ bool Supervisor::pump() {
     Rec& rec = recs_[i];
     if (rec.st == St::Terminal) continue;
     if (rec.st == St::Backoff) {
-      if (t >= rec.resume_at) resubmit(rec);
+      if (t >= rec.resume_at && admit(rec, t)) {
+        if (rec.attempts > 0) ++stats_.resubmits;
+        launch(rec);
+      }
       continue;
     }
-    // Flying.
-    if (client_->state(rec.session) == SessionState::Done) {
-      rec.result = client_->result(rec.session);
-      client_->release(rec.session);
+    // Flying. First terminal result wins: the primary is polled first, so a
+    // tie goes to it deterministically; the loser's session is released if
+    // done, abandoned if still flying (a ghost completion is harmless — the
+    // supervisor has forgotten the key).
+    const bool primary_done =
+        client_->state(rec.session) == SessionState::Done;
+    const bool hedge_done =
+        rec.hedge_live &&
+        client_->state(rec.hedge_session) == SessionState::Done;
+    if (primary_done || hedge_done) {
+      if (primary_done) {
+        rec.result = client_->result(rec.session);
+        client_->release(rec.session);
+        if (hedge_done) client_->release(rec.hedge_session);
+      } else {
+        rec.result = client_->result(rec.hedge_session);
+        client_->release(rec.hedge_session);
+        ++stats_.hedge_wins;
+      }
+      rec.hedge_live = false;
       if (rec.result.completed) {
+        breaker_note_success(rec);
         settle(rec, SessionOutcome::Ok);
         continue;
       }
       // Failed attempt: an admission refusal keeps the pure-refusal
       // classification; anything else (killed by a crash-restart) taints it.
-      if (rec.result.admission == ForwardSubmit::Accepted)
+      if (rec.result.admission == ForwardSubmit::Accepted) {
         rec.non_refusal_failure = true;
+        breaker_note_failure(rec, t);
+      } else if (rec.is_probe) {
+        // A refused probe frees its slot without reopening the breaker:
+        // backpressure is not service death.
+        rec.is_probe = false;
+        Breaker& br = breaker_for(rec);
+        if (br.probes_in_flight > 0) --br.probes_in_flight;
+      }
       rec.last_was_deadline = false;
       fail_over(rec, t);
       continue;
@@ -117,10 +254,24 @@ bool Supervisor::pump() {
       ++stats_.deadline_hits;
       rec.non_refusal_failure = true;
       rec.last_was_deadline = true;
-      // The expired attempt is abandoned, not released: it may still be In
-      // on the host, and a ghost completion later is harmless — the
-      // supervisor has forgotten the key.
+      // The expired attempt (and any live hedge) is abandoned, not
+      // released: it may still be In on the host.
+      rec.hedge_live = false;
+      breaker_note_failure(rec, t);
       fail_over(rec, t);
+      continue;
+    }
+    // Tail defense: back the slow primary up with a hedged resubmit.
+    if (opts_.hedge.enabled && !rec.hedge_live &&
+        rec.hedges < opts_.hedge.max_hedges &&
+        MUTATION_POINT("sup.hedge.fire",
+                       (t >= rec.flying_since + opts_.hedge.hedge_after),
+                       true)) {
+      rec.hedge_session =
+          client_->submit_desc(hedge_origin(rec, i), rec.desc);
+      rec.hedge_live = true;
+      ++rec.hedges;
+      ++stats_.hedges_launched;
     }
   }
   return live_ == 0;
@@ -128,8 +279,11 @@ bool Supervisor::pump() {
 
 void Supervisor::force_settle() {
   // No more backend progress is possible. Expire flying attempts and drain
-  // backoffs immediately; each round either settles a ticket or consumes
-  // one attempt, so this terminates within retry_budget + 1 rounds.
+  // backoffs immediately, bypassing the breaker gate (settling_: a held
+  // submission consumes no attempt, so holding here would never converge);
+  // each round then either settles a ticket or consumes one attempt, so
+  // this terminates within retry_budget + 1 rounds.
+  settling_ = true;
   while (live_ > 0) {
     const std::uint64_t t = now();
     for (Rec& rec : recs_) {
@@ -138,6 +292,7 @@ void Supervisor::force_settle() {
     }
     pump();
   }
+  settling_ = false;
 }
 
 bool Supervisor::run_all(AwaitOptions opts) {
@@ -169,6 +324,17 @@ bool Supervisor::run_all(AwaitOptions opts) {
         if (rec.st == St::Backoff) {
           rec.resume_at = now();
           any_backoff = true;
+        }
+      }
+      // Open breakers hold submissions on the same frozen clock: their
+      // cooldowns can never elapse either, so fast-forward them to HalfOpen
+      // — the probe resubmissions are what re-enable the world.
+      if (opts_.breaker.enabled) {
+        for (Breaker& br : breakers_) {
+          if (br.state != BreakerState::Open) continue;
+          br.state = BreakerState::HalfOpen;
+          br.probe_successes = 0;
+          br.probes_in_flight = 0;
         }
       }
       if (!any_backoff)

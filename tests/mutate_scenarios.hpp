@@ -37,6 +37,7 @@
 #include "sim/simulator.hpp"
 #include "svc/client.hpp"
 #include "svc/host.hpp"
+#include "svc/supervisor.hpp"
 
 namespace snapstab::mutatetest {
 
@@ -622,6 +623,161 @@ inline Outcome run_spec_fwd_ring() {
   return out;
 }
 
+// --- supervisor circuit breaker / hedging ----------------------------------
+// PIF-only worlds (golden::pif_world), so none of the declared-equivalent
+// IDL/ME/TD mutants can touch these traces. Failures are injected by
+// crashing the origin host (kills the live session visibly), which is what
+// feeds the breaker's consecutive-failure count deterministically.
+
+// Trip -> Open -> short-circuit -> (quiescent fast-forward) HalfOpen probe
+// -> Closed. Kills sup.breaker.trip, sup.breaker.cooldown, sup.probe.close.
+inline Outcome run_spec_sup_breaker() {
+  Outcome out;
+  Check ck(out);
+  auto sim = golden::pif_world(3, 1, 31);
+  sim->set_scheduler(std::make_unique<sim::RandomScheduler>(32));
+  svc::Client client(*sim);
+  svc::SuperviseOptions so;
+  so.attempt_deadline = 2'000;
+  so.retry_budget = 6;
+  so.backoff_base = 4;
+  so.backoff_max = 8;
+  so.breaker.enabled = true;
+  so.breaker.failure_threshold = 2;
+  so.breaker.open_cooldown = 50'000;  // never elapses inside this run
+  svc::Supervisor sup(client, so);
+  const auto t = sup.supervise(0, svc::PifBroadcast{Value::integer(41)});
+  // Kill exactly the first two attempts: crash the origin host once per
+  // attempt number, the first pump after each launch.
+  Rng rng(7);
+  int last_killed = 0;
+  sup.set_on_pump([&] {
+    if (sup.terminal(t)) return;
+    const int a = sup.attempts(t);
+    if (a >= 1 && a <= 2 && a != last_killed) {
+      sim->process_as<svc::ServiceHost>(0).crash_restart(rng);
+      last_killed = a;
+    }
+  });
+  svc::AwaitOptions aw;
+  aw.policy.check_every = 1;
+  ck.require(sup.run_all(aw), "sup.breaker: run_all settles every ticket");
+  ck.equals(static_cast<std::int64_t>(sup.outcome(t)),
+            static_cast<std::int64_t>(svc::SessionOutcome::Ok),
+            "sup.breaker: recovered Ok");
+  ck.equals(sup.attempts(t), 3, "sup.breaker: two kills then the probe");
+  ck.equals(static_cast<std::int64_t>(sup.stats().breaker_trips), 1,
+            "sup.breaker: tripped exactly once");
+  ck.equals(static_cast<std::int64_t>(sup.stats().breaker_short_circuits), 1,
+            "sup.breaker: one held resubmission while Open");
+  ck.equals(static_cast<std::int64_t>(sup.stats().probes), 1,
+            "sup.breaker: one HalfOpen probe");
+  ck.equals(
+      static_cast<std::int64_t>(sup.breaker_state(svc::ServiceId::PifBroadcast)),
+      static_cast<std::int64_t>(svc::BreakerState::Closed),
+      "sup.breaker: probe success closed the breaker");
+  ck.trace(*sim);
+  ck.finish();
+  return out;
+}
+
+// Two tickets contending for one HalfOpen probe slot: the quota admits one,
+// short-circuits the other. Kills sup.probe.quota (and sup.breaker.trip at
+// threshold 1).
+inline Outcome run_spec_sup_probe() {
+  Outcome out;
+  Check ck(out);
+  auto sim = golden::pif_world(3, 1, 33);
+  sim->set_scheduler(std::make_unique<sim::RandomScheduler>(34));
+  svc::Client client(*sim);
+  svc::SuperviseOptions so;
+  so.attempt_deadline = 2'000;
+  so.retry_budget = 6;
+  so.backoff_base = 4;
+  so.backoff_max = 8;
+  so.breaker.enabled = true;
+  so.breaker.failure_threshold = 1;
+  so.breaker.open_cooldown = 50'000;
+  so.breaker.probe_quota = 1;
+  svc::Supervisor sup(client, so);
+  const auto t1 = sup.supervise(0, svc::PifBroadcast{Value::integer(7)});
+  const auto t2 = sup.supervise(1, svc::PifBroadcast{Value::integer(8)});
+  // Kill both first attempts before any pump: the first failure trips the
+  // breaker, the second lands on it already Open.
+  Rng rng(9);
+  sim->process_as<svc::ServiceHost>(0).crash_restart(rng);
+  sim->process_as<svc::ServiceHost>(1).crash_restart(rng);
+  svc::AwaitOptions aw;
+  aw.policy.check_every = 1;
+  ck.require(sup.run_all(aw), "sup.probe: run_all settles every ticket");
+  ck.equals(static_cast<std::int64_t>(sup.outcome(t1)),
+            static_cast<std::int64_t>(svc::SessionOutcome::Ok),
+            "sup.probe: t1 Ok");
+  ck.equals(static_cast<std::int64_t>(sup.outcome(t2)),
+            static_cast<std::int64_t>(svc::SessionOutcome::Ok),
+            "sup.probe: t2 Ok");
+  ck.equals(static_cast<std::int64_t>(sup.stats().breaker_trips), 1,
+            "sup.probe: one trip");
+  ck.equals(static_cast<std::int64_t>(sup.stats().probes), 1,
+            "sup.probe: the quota admitted exactly one probe");
+  ck.equals(
+      static_cast<std::int64_t>(sup.breaker_state(svc::ServiceId::PifBroadcast)),
+      static_cast<std::int64_t>(svc::BreakerState::Closed),
+      "sup.probe: closed after the probe");
+  ck.trace(*sim);
+  ck.finish();
+  return out;
+}
+
+// Hedging: a healthy request under a huge hedge budget must launch zero
+// backups (kills sup.hedge.fire, whose mutant fires at the first pump); a
+// tiny budget launches exactly max_hedges.
+inline Outcome run_spec_sup_hedge() {
+  Outcome out;
+  Check ck(out);
+  {
+    auto sim = golden::pif_world(3, 1, 35);
+    sim->set_scheduler(std::make_unique<sim::RandomScheduler>(36));
+    svc::Client client(*sim);
+    svc::SuperviseOptions so;
+    so.hedge.enabled = true;
+    so.hedge.hedge_after = 100'000;  // far beyond the healthy completion
+    svc::Supervisor sup(client, so);
+    const auto t = sup.supervise(0, svc::PifBroadcast{Value::integer(5)});
+    svc::AwaitOptions aw;
+    aw.policy.check_every = 1;
+    ck.require(sup.run_all(aw), "sup.hedge: healthy run settles");
+    ck.equals(static_cast<std::int64_t>(sup.outcome(t)),
+              static_cast<std::int64_t>(svc::SessionOutcome::Ok),
+              "sup.hedge: healthy Ok");
+    ck.equals(static_cast<std::int64_t>(sup.stats().hedges_launched), 0,
+              "sup.hedge: no backup within the budget");
+    ck.trace(*sim);
+  }
+  {
+    auto sim = golden::pif_world(3, 1, 37);
+    sim->set_scheduler(std::make_unique<sim::RandomScheduler>(38));
+    svc::Client client(*sim);
+    svc::SuperviseOptions so;
+    so.hedge.enabled = true;
+    so.hedge.hedge_after = 1;  // fires on the first pump past launch
+    so.hedge.max_hedges = 1;
+    svc::Supervisor sup(client, so);
+    const auto t = sup.supervise(0, svc::PifBroadcast{Value::integer(6)});
+    svc::AwaitOptions aw;
+    aw.policy.check_every = 1;
+    ck.require(sup.run_all(aw), "sup.hedge: hedged run settles");
+    ck.equals(static_cast<std::int64_t>(sup.outcome(t)),
+              static_cast<std::int64_t>(svc::SessionOutcome::Ok),
+              "sup.hedge: hedged Ok");
+    ck.equals(static_cast<std::int64_t>(sup.stats().hedges_launched), 1,
+              "sup.hedge: exactly one backup");
+    ck.trace(*sim);
+  }
+  ck.finish();
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Golden stage: replay the pinned traces and compare bit for bit.
 // ---------------------------------------------------------------------------
@@ -825,6 +981,9 @@ inline const std::vector<KillConfig>& kill_configs() {
       {"spec.td.inflight_lie", "spec", run_spec_td_inflight_lie},
       {"spec.td.active_idle", "spec", run_spec_td_active_idle},
       {"spec.fwd.ring", "spec", run_spec_fwd_ring},
+      {"spec.sup.breaker", "spec", run_spec_sup_breaker},
+      {"spec.sup.probe", "spec", run_spec_sup_probe},
+      {"spec.sup.hedge", "spec", run_spec_sup_hedge},
       {"golden.pif_rand", "golden", run_golden_0},
       {"golden.pif_loss", "golden", run_golden_1},
       {"golden.pif_rr", "golden", run_golden_2},

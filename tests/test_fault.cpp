@@ -10,6 +10,7 @@
 // (plan.repro_line()) that pins the schedule it executed.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -57,6 +58,42 @@ FaultPlanSpec chaos_spec(std::uint64_t seed) {
   fs.loss_windows = 1;
   fs.duplicate_windows = 1;
   fs.partition_windows = 1;
+  return fs;
+}
+
+// The storm campaign's spec: all four correlated patterns, anchored inside
+// a short horizon so each test drains the schedule.
+FaultPlanSpec storm_spec(std::uint64_t seed) {
+  FaultPlanSpec fs;
+  fs.seed = seed;
+  fs.horizon = 4'000;
+  fs.min_len = 100;
+  fs.max_len = 600;
+  PatternSpec roll;
+  roll.kind = PatternKind::RollingPartition;
+  roll.begin = 200;
+  roll.span = 1'500;
+  roll.count = 3;
+  roll.len = 300;
+  PatternSpec crash;
+  crash.kind = PatternKind::CrashStorm;
+  crash.begin = 800;
+  crash.span = 1'200;
+  crash.count = 3;
+  crash.len = 250;
+  PatternSpec flap;
+  flap.kind = PatternKind::FlappingLink;
+  flap.begin = 400;
+  flap.count = 3;
+  flap.len = 150;
+  flap.period = 500;
+  PatternSpec casc;
+  casc.kind = PatternKind::Cascade;
+  casc.begin = 1'600;
+  casc.count = 2;
+  casc.len = 200;
+  casc.lag_max = 400;
+  fs.patterns = {roll, crash, flap, casc};
   return fs;
 }
 
@@ -166,10 +203,203 @@ TEST(FaultPlan, ReproLinePinsSeedAndDigest) {
 TEST(FaultPlan, KindAndOutcomeNamesAreExhaustive) {
   EXPECT_STREQ(fault_kind_name(FaultKind::CrashRestart), "crash-restart");
   EXPECT_STREQ(fault_kind_name(FaultKind::LinkPartition), "link-partition");
+  EXPECT_STREQ(fault_kind_name(FaultKind::LinkDown), "link-down");
+  EXPECT_STREQ(pattern_kind_name(PatternKind::RollingPartition),
+               "rolling-partition");
+  EXPECT_STREQ(pattern_kind_name(PatternKind::CrashStorm), "crash-storm");
+  EXPECT_STREQ(pattern_kind_name(PatternKind::FlappingLink), "flapping-link");
+  EXPECT_STREQ(pattern_kind_name(PatternKind::Cascade), "cascade");
   EXPECT_STREQ(svc::session_outcome_name(svc::SessionOutcome::Ok), "ok");
   EXPECT_STREQ(svc::session_outcome_name(svc::SessionOutcome::GaveUp),
                "gave-up");
+  EXPECT_STREQ(svc::breaker_state_name(svc::BreakerState::Closed), "closed");
+  EXPECT_STREQ(svc::breaker_state_name(svc::BreakerState::Open), "open");
+  EXPECT_STREQ(svc::breaker_state_name(svc::BreakerState::HalfOpen),
+               "half-open");
   EXPECT_STREQ(sim::obs_kind_name(sim::ObsKind::Fault), "fault");
+}
+
+// ---------------------------------------------------------------------------
+// Correlated storm patterns: purity, per-kind shape, the draw-after
+// contract that keeps storms-off plans bit-identical, and inertness.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPatterns, CompileIsPureAndEachKindHasItsShape) {
+  const sim::Topology topo = sim::Topology::ring(6);
+  const FaultPlanSpec spec = storm_spec(42);
+  const FaultPlan a = FaultPlan::compile(spec, topo);
+  const FaultPlan b = FaultPlan::compile(spec, topo);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.repro_line(), b.repro_line());
+
+  int partitions = 0, crashes = 0, downs = 0, garbage = 0;
+  for (const FaultWindow& w : a.windows()) {
+    switch (w.kind) {
+      case FaultKind::LinkPartition: {
+        ++partitions;
+        // A real sweeping cut: neither side empty.
+        const std::uint64_t mask = w.partition_mask & 0x3full;
+        EXPECT_NE(mask, 0u);
+        EXPECT_NE(mask, 0x3full);
+        break;
+      }
+      case FaultKind::CrashRestart:
+        ++crashes;
+        EXPECT_GE(w.process, 0);
+        EXPECT_LT(w.process, 6);
+        break;
+      case FaultKind::LinkDown:
+        ++downs;
+        EXPECT_GE(w.edge, 0);
+        EXPECT_LT(w.edge, topo.edge_count());
+        break;
+      case FaultKind::ChannelGarbage:
+        ++garbage;
+        break;
+      default:
+        break;
+    }
+  }
+  // With n=6 and count=3 every 2-process sweep segment is non-trivial.
+  EXPECT_EQ(partitions, 3);
+  // 3 storm crashes + 1 cascade trigger.
+  EXPECT_EQ(crashes, 4);
+  // 3 flap phases x both directions of the link.
+  EXPECT_EQ(downs, 6);
+  // 2 cascade followers.
+  EXPECT_EQ(garbage, 2);
+  // Events stay one open + one close per window, sorted.
+  ASSERT_EQ(a.events().size(), a.windows().size() * 2);
+  for (std::size_t i = 1; i < a.events().size(); ++i)
+    EXPECT_LE(a.events()[i - 1].step, a.events()[i].step);
+}
+
+TEST(FaultPatterns, CrashStormHitsDistinctHosts) {
+  const sim::Topology topo = sim::Topology::complete(5);
+  FaultPlanSpec fs;
+  fs.seed = 17;
+  PatternSpec storm;
+  storm.kind = PatternKind::CrashStorm;
+  storm.begin = 100;
+  storm.span = 1'000;
+  storm.count = 5;
+  storm.len = 200;
+  fs.patterns = {storm};
+  const FaultPlan plan = FaultPlan::compile(fs, topo);
+  ASSERT_EQ(plan.windows().size(), 5u);
+  std::vector<sim::ProcessId> victims;
+  std::uint64_t prev_begin = 0;
+  for (const FaultWindow& w : plan.windows()) {
+    ASSERT_EQ(w.kind, FaultKind::CrashRestart);
+    EXPECT_EQ(w.end - w.begin, 200u);
+    EXPECT_GE(w.begin, prev_begin);  // burst-arrival walk, sorted
+    prev_begin = w.begin;
+    victims.push_back(w.process);
+  }
+  std::sort(victims.begin(), victims.end());
+  EXPECT_EQ(std::adjacent_find(victims.begin(), victims.end()),
+            victims.end());  // all distinct
+}
+
+TEST(FaultPatterns, FlappingLinkCoversBothDirectionsPeriodically) {
+  const sim::Topology topo = sim::Topology::ring(4);
+  FaultPlanSpec fs;
+  fs.seed = 5;
+  PatternSpec flap;
+  flap.kind = PatternKind::FlappingLink;
+  flap.begin = 50;
+  flap.count = 4;
+  flap.len = 60;
+  flap.period = 200;
+  flap.edge = 2;  // pinned, not drawn
+  fs.patterns = {flap};
+  const FaultPlan plan = FaultPlan::compile(fs, topo);
+  ASSERT_EQ(plan.windows().size(), 8u);
+  const sim::EdgeId rev =
+      topo.edge_between(topo.edge_dst(2), topo.edge_src(2));
+  for (int f = 0; f < 4; ++f) {
+    const FaultWindow& fwd = plan.windows()[static_cast<std::size_t>(2 * f)];
+    const FaultWindow& bwd =
+        plan.windows()[static_cast<std::size_t>(2 * f + 1)];
+    EXPECT_EQ(fwd.begin, 50u + 200u * static_cast<std::uint64_t>(f));
+    EXPECT_EQ(fwd.begin, bwd.begin);
+    EXPECT_EQ(fwd.kind, FaultKind::LinkDown);
+    EXPECT_EQ(bwd.kind, FaultKind::LinkDown);
+    EXPECT_EQ(std::min(fwd.edge, bwd.edge), std::min<sim::EdgeId>(2, rev));
+    EXPECT_EQ(std::max(fwd.edge, bwd.edge), std::max<sim::EdgeId>(2, rev));
+  }
+}
+
+TEST(FaultPatterns, CascadeFollowersLagTheirPredecessor) {
+  const sim::Topology topo = sim::Topology::ring(5);
+  FaultPlanSpec fs;
+  fs.seed = 23;
+  PatternSpec casc;
+  casc.kind = PatternKind::Cascade;
+  casc.begin = 300;
+  casc.count = 4;
+  casc.len = 100;
+  casc.lag_max = 250;
+  casc.trigger = FaultKind::CrashRestart;
+  casc.follow = FaultKind::EdgeLoss;
+  fs.patterns = {casc};
+  const FaultPlan plan = FaultPlan::compile(fs, topo);
+  ASSERT_EQ(plan.windows().size(), 5u);
+  EXPECT_EQ(plan.windows()[0].kind, FaultKind::CrashRestart);
+  EXPECT_EQ(plan.windows()[0].begin, 300u);
+  std::uint64_t prev = 300;
+  for (std::size_t i = 1; i < 5; ++i) {
+    const FaultWindow& w = plan.windows()[i];
+    EXPECT_EQ(w.kind, FaultKind::EdgeLoss);
+    EXPECT_GE(w.begin, prev + 1);
+    EXPECT_LE(w.begin, prev + 250);
+    prev = w.begin;
+  }
+}
+
+TEST(FaultPatterns, PatternsDrawStrictlyAfterIndependentWindows) {
+  // The bit-identity contract: adding patterns must not move a single
+  // independent window — they draw from the continuing stream.
+  const sim::Topology topo = sim::Topology::ring(8);
+  const FaultPlanSpec base = chaos_spec(7);
+  FaultPlanSpec stormy = base;
+  stormy.patterns = storm_spec(7).patterns;
+  const FaultPlan plain = FaultPlan::compile(base, topo);
+  const FaultPlan storm = FaultPlan::compile(stormy, topo);
+  EXPECT_GT(storm.windows().size(), plain.windows().size());
+  const auto key = [](const FaultWindow& w) {
+    return std::tuple(static_cast<int>(w.kind), w.begin, w.end, w.process,
+                      w.edge, w.partition_mask);
+  };
+  for (const FaultWindow& w : plain.windows()) {
+    bool found = false;
+    for (const FaultWindow& s : storm.windows())
+      if (key(s) == key(w)) {
+        found = true;
+        break;
+      }
+    EXPECT_TRUE(found) << "independent window moved by pattern compilation";
+  }
+}
+
+TEST(FaultPatterns, PatternsOnlySpecIsEnabledAndEmptySpecStaysInert) {
+  FaultPlanSpec fs;
+  EXPECT_FALSE(fs.enabled());
+  PatternSpec flap;
+  flap.kind = PatternKind::FlappingLink;
+  fs.patterns = {flap};
+  EXPECT_TRUE(fs.enabled());
+  EXPECT_EQ(fs.total_windows(), 0);
+
+  // An inert spec stays inert through compile + injection.
+  const FaultPlan plan =
+      FaultPlan::compile(FaultPlanSpec{}, sim::Topology::ring(4));
+  EXPECT_TRUE(plan.empty());
+  auto sim = pif_world(sim::Topology::ring(4), 3);
+  Injector inj(plan);
+  EXPECT_TRUE(inj.done());
+  EXPECT_EQ(inj.poll(*sim), 0);
+  EXPECT_EQ(inj.counters().down_wipes, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -396,6 +626,96 @@ INSTANTIATE_TEST_SUITE_P(Campaign, FaultChaos,
                          ::testing::ValuesIn(chaos_params()), chaos_name);
 
 // ---------------------------------------------------------------------------
+// The storm acceptance suite: correlated patterns (rolling partitions,
+// crash storms, flapping links, cascades) against a supervisor running its
+// full resilience stack — circuit breaker AND hedged resubmits. Same
+// phase structure as FaultChaos: mid-storm sessions reach terminal
+// outcomes, post-storm sessions complete correctly, every assertion
+// carries the repro line.
+// ---------------------------------------------------------------------------
+
+class StormChaos : public ::testing::TestWithParam<ChaosParam> {};
+
+TEST_P(StormChaos, MidStormTerminalAndPostStormServed) {
+  const auto& [seed, topo_name] = GetParam();
+  const int n = 6;
+  const sim::Topology topo = make_topo(topo_name, n, seed);
+  auto sim = pif_world(topo, seed);
+  svc::Client client(*sim);
+  const FaultPlan plan = FaultPlan::compile(storm_spec(seed), topo);
+  Injector inj(plan);
+
+  svc::SuperviseOptions so;
+  so.attempt_deadline = 2'000;
+  so.retry_budget = 3;
+  so.backoff_base = 32;
+  so.seed = seed;
+  so.breaker.enabled = true;
+  so.breaker.failure_threshold = 2;
+  so.breaker.open_cooldown = 512;
+  so.hedge.enabled = true;
+  so.hedge.hedge_after = 1'200;
+  svc::Supervisor sup(client, so);
+  sup.set_on_pump([&] { inj.poll(*sim); });
+
+  // Phase A: requests in flight while the storm rages — terminal, always.
+  std::vector<svc::Supervisor::Ticket> mid;
+  for (int i = 0; i < 8; ++i)
+    mid.push_back(
+        sup.supervise(i % n, svc::PifBroadcast{Value::integer(2'000 + i)}));
+  svc::AwaitOptions aw;
+  aw.max_steps = 2'000'000;
+  aw.policy.check_every = 16;
+  sup.run_all(aw);
+  for (const auto t : mid) {
+    ASSERT_TRUE(sup.terminal(t)) << plan.repro_line();
+    if (sup.outcome(t) == svc::SessionOutcome::Ok)
+      EXPECT_TRUE(sup.result(t).completed) << plan.repro_line();
+  }
+
+  // Drain the storm schedule.
+  int guard = 0;
+  while (!inj.done() && ++guard < 10'000) {
+    const auto reason = sim->run(2'048, [&](Simulator& s) {
+      inj.poll(s);
+      return inj.done();
+    });
+    if (reason == Simulator::StopReason::Quiescent)
+      client.submit(0, svc::PifBroadcast{Value::integer(900'000 + guard)});
+  }
+  ASSERT_TRUE(inj.done()) << plan.repro_line();
+  ASSERT_GE(sim->step_count(), plan.last_end()) << plan.repro_line();
+
+  // Phase B: snap-stabilization — post-storm requests complete correctly.
+  std::vector<svc::Session> post;
+  std::vector<Value> payloads;
+  for (int i = 0; i < 2 * n; ++i) {
+    const Value v = Value::integer(7'000 + i);
+    post.push_back(client.submit(i % n, svc::PifBroadcast{v}));
+    payloads.push_back(v);
+  }
+  svc::AwaitOptions bw;
+  bw.max_steps = 5'000'000;
+  ASSERT_TRUE(client.run_until(post, bw)) << plan.repro_line();
+  for (std::size_t i = 0; i < post.size(); ++i) {
+    const svc::SessionResult r = client.result(post[i]);
+    EXPECT_TRUE(r.completed) << plan.repro_line();
+    EXPECT_EQ(r.value, payloads[i]) << plan.repro_line();
+  }
+}
+
+std::vector<ChaosParam> storm_params() {
+  std::vector<ChaosParam> out;
+  for (const char* topo : {"ring", "complete", "tree"})
+    for (std::uint64_t seed = 101; seed <= 108; ++seed)
+      out.emplace_back(seed, topo);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Campaign, StormChaos,
+                         ::testing::ValuesIn(storm_params()), chaos_name);
+
+// ---------------------------------------------------------------------------
 // Replay: identical (seed, plan) runs are bit-identical on the Simulator —
 // same observation stream, same step count, same injector counters.
 // ---------------------------------------------------------------------------
@@ -406,17 +726,25 @@ struct ReplayResult {
   Injector::Counters counters;
 };
 
-ReplayResult run_replay(std::uint64_t seed, const std::string& topo_name) {
+ReplayResult run_replay(std::uint64_t seed, const std::string& topo_name,
+                        const FaultPlanSpec& spec, bool resilience_stack) {
   const int n = 6;
   const sim::Topology topo = make_topo(topo_name, n, seed);
   auto sim = pif_world(topo, seed);
   svc::Client client(*sim);
-  const FaultPlan plan = FaultPlan::compile(chaos_spec(seed), topo);
+  const FaultPlan plan = FaultPlan::compile(spec, topo);
   Injector inj(plan);
   svc::SuperviseOptions so;
   so.attempt_deadline = 1'500;
   so.retry_budget = 2;
   so.seed = seed;
+  if (resilience_stack) {
+    so.breaker.enabled = true;
+    so.breaker.failure_threshold = 2;
+    so.breaker.open_cooldown = 256;
+    so.hedge.enabled = true;
+    so.hedge.hedge_after = 1'000;
+  }
   svc::Supervisor sup(client, so);
   sup.set_on_pump([&] { inj.poll(*sim); });
   for (int i = 0; i < n; ++i)
@@ -432,12 +760,7 @@ ReplayResult run_replay(std::uint64_t seed, const std::string& topo_name) {
   return r;
 }
 
-class FaultReplay : public ::testing::TestWithParam<ChaosParam> {};
-
-TEST_P(FaultReplay, SameSeedAndPlanReplaysBitIdentically) {
-  const auto& [seed, topo_name] = GetParam();
-  const ReplayResult a = run_replay(seed, topo_name);
-  const ReplayResult b = run_replay(seed, topo_name);
+void expect_bit_identical(const ReplayResult& a, const ReplayResult& b) {
   EXPECT_EQ(a.digest, b.digest);
   EXPECT_EQ(a.steps, b.steps);
   EXPECT_EQ(a.counters.crashes, b.counters.crashes);
@@ -445,12 +768,40 @@ TEST_P(FaultReplay, SameSeedAndPlanReplaysBitIdentically) {
   EXPECT_EQ(a.counters.drops, b.counters.drops);
   EXPECT_EQ(a.counters.duplicates, b.counters.duplicates);
   EXPECT_EQ(a.counters.partition_wipes, b.counters.partition_wipes);
+  EXPECT_EQ(a.counters.down_wipes, b.counters.down_wipes);
+}
+
+class FaultReplay : public ::testing::TestWithParam<ChaosParam> {};
+
+TEST_P(FaultReplay, SameSeedAndPlanReplaysBitIdentically) {
+  const auto& [seed, topo_name] = GetParam();
+  const ReplayResult a = run_replay(seed, topo_name, chaos_spec(seed), false);
+  const ReplayResult b = run_replay(seed, topo_name, chaos_spec(seed), false);
+  expect_bit_identical(a, b);
 }
 
 INSTANTIATE_TEST_SUITE_P(Campaign, FaultReplay,
                          ::testing::Values(ChaosParam{31, "ring"},
                                            ChaosParam{32, "complete"},
                                            ChaosParam{33, "tree"}),
+                         chaos_name);
+
+// The storm replay pin: the repro_line() printed by any StormChaos failure
+// names a (seed, plan digest) pair that replays bit-identically — with the
+// full breaker + hedging stack in the loop.
+class StormReplay : public ::testing::TestWithParam<ChaosParam> {};
+
+TEST_P(StormReplay, SameSeedAndStormPlanReplaysBitIdentically) {
+  const auto& [seed, topo_name] = GetParam();
+  const ReplayResult a = run_replay(seed, topo_name, storm_spec(seed), true);
+  const ReplayResult b = run_replay(seed, topo_name, storm_spec(seed), true);
+  expect_bit_identical(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Campaign, StormReplay,
+                         ::testing::Values(ChaosParam{41, "ring"},
+                                           ChaosParam{42, "complete"},
+                                           ChaosParam{43, "tree"}),
                          chaos_name);
 
 }  // namespace

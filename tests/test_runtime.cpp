@@ -7,6 +7,8 @@
 #include <memory>
 
 #include "core/stack.hpp"
+#include "fault/plan.hpp"
+#include "fault/runtime_injector.hpp"
 #include "runtime/thread_runtime.hpp"
 
 namespace snapstab::runtime {
@@ -195,6 +197,65 @@ TEST(ThreadRuntime, ElectionServiceRunsOnThreads) {
         i, [](core::ElectionProcess& p) { return p.election().leader(); });
     EXPECT_EQ(leader, 100 - (n - 1));  // the smallest id
   }
+}
+
+TEST(RuntimeInjector, StormCeasesAndFreshRequestCompletes) {
+  // A bounded (sub-second) storm over the thread runtime: crash bursts plus
+  // a flapping link, then — once every window has elapsed — the
+  // snap-stabilization contract: a fresh request completes.
+  const int n = 4;
+  const sim::Topology topo = sim::Topology::complete(n);
+  ThreadRuntime rt(topo, {.seed = 29});
+  for (int i = 0; i < n; ++i)
+    rt.add_process(std::make_unique<core::PifProcess>(n - 1, 1));
+
+  fault::FaultPlanSpec fs;
+  fs.seed = 29;
+  fs.horizon = 400;
+  fs.min_len = 20;
+  fs.max_len = 60;
+  fault::PatternSpec crash;
+  crash.kind = fault::PatternKind::CrashStorm;
+  crash.begin = 20;
+  crash.span = 200;
+  crash.count = 3;
+  crash.len = 40;
+  fault::PatternSpec flap;
+  flap.kind = fault::PatternKind::FlappingLink;
+  flap.begin = 50;
+  flap.count = 3;
+  flap.len = 30;
+  flap.period = 90;
+  fs.patterns = {crash, flap};
+  const fault::FaultPlan plan = fault::FaultPlan::compile(fs, topo);
+  ASSERT_FALSE(plan.empty());
+
+  fault::RuntimeInjectorOptions io;
+  io.step_duration = std::chrono::microseconds(200);
+  io.poll_interval = std::chrono::milliseconds(1);
+  fault::RuntimeInjector inj(plan, rt, io);
+  inj.start();
+
+  std::atomic<bool> requested{false};
+  const bool ok = rt.run(
+      [&rt, &inj, &requested] {
+        if (!inj.done()) return false;  // the fault still rages
+        return rt.with_process<core::PifProcess>(
+            0, [&requested](core::PifProcess& p) {
+              if (!requested.load()) {
+                if (!p.pif().done()) return false;
+                p.pif().request(Value::text("post-storm"));
+                requested.store(true);
+                return false;
+              }
+              return p.pif().done();
+            });
+      },
+      30s);
+  inj.stop();
+  EXPECT_TRUE(ok) << "post-storm request did not complete; "
+                  << plan.repro_line();
+  EXPECT_GT(inj.counters().crashes, 0u) << plan.repro_line();
 }
 
 TEST(ThreadRuntime, ObservationsAreMonotonic) {

@@ -11,6 +11,7 @@
 
 #include <memory>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include "core/forward_world.hpp"
@@ -19,6 +20,7 @@
 #include "sim/fuzz.hpp"
 #include "sim/simulator.hpp"
 #include "svc/client.hpp"
+#include "svc/supervisor.hpp"
 
 namespace snapstab::svc {
 namespace {
@@ -424,6 +426,223 @@ TEST(SvcAwait, ThreadRuntimeTimeoutReturnsFalseAndSecondAwaitDoesNotCrash) {
   // report false, not trip the one-shot assertion.
   EXPECT_FALSE(client.run_until(s, opts));
   EXPECT_FALSE(client.done(s));
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor resilience stack: the per-service circuit breaker
+// (Closed -> Open -> HalfOpen) and hedged resubmits, all deterministic on
+// the engine step clock.
+// ---------------------------------------------------------------------------
+
+TEST(SvcBreaker, TripsOpensProbesAndCloses) {
+  auto sim = pif_host_world(3, 61);
+  Client client(*sim);
+  SuperviseOptions so;
+  so.attempt_deadline = 2'000;
+  so.retry_budget = 6;
+  so.backoff_base = 4;
+  so.backoff_max = 8;
+  so.breaker.enabled = true;
+  so.breaker.failure_threshold = 2;
+  so.breaker.open_cooldown = 50'000;  // never elapses inside this run
+  Supervisor sup(client, so);
+  EXPECT_EQ(sup.breaker_state(ServiceId::PifBroadcast), BreakerState::Closed);
+  const auto t = sup.supervise(0, PifBroadcast{Value::integer(41)});
+  // Kill exactly the first two attempts: crash the origin host once per
+  // attempt number, the first pump after each launch.
+  Rng rng(7);
+  int last_killed = 0;
+  sup.set_on_pump([&] {
+    if (sup.terminal(t)) return;
+    const int a = sup.attempts(t);
+    if (a >= 1 && a <= 2 && a != last_killed) {
+      sim->process_as<ServiceHost>(0).crash_restart(rng);
+      last_killed = a;
+    }
+  });
+  AwaitOptions aw;
+  aw.policy.check_every = 1;
+  ASSERT_TRUE(sup.run_all(aw));
+  EXPECT_EQ(sup.outcome(t), SessionOutcome::Ok);
+  // Two kills reach the threshold and trip the breaker; the resubmission
+  // lands on it Open (held, no attempt burned), the quiescent cooldown
+  // fast-forward half-opens it, and the probe succeeds and closes it.
+  EXPECT_EQ(sup.attempts(t), 3);
+  EXPECT_EQ(sup.stats().breaker_trips, 1u);
+  EXPECT_EQ(sup.stats().breaker_short_circuits, 1u);
+  EXPECT_EQ(sup.stats().probes, 1u);
+  EXPECT_EQ(sup.breaker_state(ServiceId::PifBroadcast), BreakerState::Closed);
+}
+
+TEST(SvcBreaker, ProbeQuotaAdmitsExactlyOneWhileHalfOpen) {
+  auto sim = pif_host_world(3, 63);
+  Client client(*sim);
+  SuperviseOptions so;
+  so.attempt_deadline = 2'000;
+  so.retry_budget = 6;
+  so.backoff_base = 4;
+  so.backoff_max = 8;
+  so.breaker.enabled = true;
+  so.breaker.failure_threshold = 1;
+  so.breaker.open_cooldown = 50'000;
+  so.breaker.probe_quota = 1;
+  Supervisor sup(client, so);
+  const auto t1 = sup.supervise(0, PifBroadcast{Value::integer(7)});
+  const auto t2 = sup.supervise(1, PifBroadcast{Value::integer(8)});
+  // Kill both first attempts before any pump: the first failure trips the
+  // breaker, the second lands on it already Open.
+  Rng rng(9);
+  sim->process_as<ServiceHost>(0).crash_restart(rng);
+  sim->process_as<ServiceHost>(1).crash_restart(rng);
+  AwaitOptions aw;
+  aw.policy.check_every = 1;
+  ASSERT_TRUE(sup.run_all(aw));
+  EXPECT_EQ(sup.outcome(t1), SessionOutcome::Ok);
+  EXPECT_EQ(sup.outcome(t2), SessionOutcome::Ok);
+  EXPECT_EQ(sup.stats().breaker_trips, 1u);
+  EXPECT_EQ(sup.stats().probes, 1u);  // the quota admitted exactly one
+  EXPECT_EQ(sup.breaker_state(ServiceId::PifBroadcast), BreakerState::Closed);
+}
+
+TEST(SvcBreaker, FailedProbeReopensTheBreaker) {
+  auto sim = pif_host_world(3, 65);
+  Client client(*sim);
+  SuperviseOptions so;
+  so.attempt_deadline = 2'000;
+  so.retry_budget = 6;
+  so.backoff_base = 4;
+  so.backoff_max = 8;
+  so.breaker.enabled = true;
+  so.breaker.failure_threshold = 1;
+  so.breaker.open_cooldown = 50'000;
+  Supervisor sup(client, so);
+  const auto t = sup.supervise(0, PifBroadcast{Value::integer(9)});
+  Rng rng(11);
+  int last_killed = 0;
+  sup.set_on_pump([&] {
+    if (sup.terminal(t)) return;
+    const int a = sup.attempts(t);
+    if (a >= 1 && a <= 2 && a != last_killed) {
+      sim->process_as<ServiceHost>(0).crash_restart(rng);
+      last_killed = a;
+    }
+  });
+  AwaitOptions aw;
+  aw.policy.check_every = 1;
+  ASSERT_TRUE(sup.run_all(aw));
+  // Attempt 1 trips the breaker; attempt 2 IS the HalfOpen probe and dies,
+  // reopening it (the second trip); attempt 3 is the second probe and
+  // closes it.
+  EXPECT_EQ(sup.outcome(t), SessionOutcome::Ok);
+  EXPECT_EQ(sup.attempts(t), 3);
+  EXPECT_EQ(sup.stats().breaker_trips, 2u);
+  EXPECT_EQ(sup.stats().probes, 2u);
+  EXPECT_EQ(sup.breaker_state(ServiceId::PifBroadcast), BreakerState::Closed);
+}
+
+TEST(SvcBreaker, DisabledBreakerNeverTripsOrHolds) {
+  auto sim = pif_host_world(3, 67);
+  Client client(*sim);
+  SuperviseOptions so;
+  so.attempt_deadline = 2'000;
+  so.retry_budget = 6;
+  so.backoff_base = 4;
+  Supervisor sup(client, so);  // breaker disabled by default
+  const auto t = sup.supervise(0, PifBroadcast{Value::integer(3)});
+  Rng rng(13);
+  int last_killed = 0;
+  sup.set_on_pump([&] {
+    if (sup.terminal(t)) return;
+    const int a = sup.attempts(t);
+    if (a >= 1 && a <= 2 && a != last_killed) {
+      sim->process_as<ServiceHost>(0).crash_restart(rng);
+      last_killed = a;
+    }
+  });
+  AwaitOptions aw;
+  aw.policy.check_every = 1;
+  ASSERT_TRUE(sup.run_all(aw));
+  EXPECT_EQ(sup.outcome(t), SessionOutcome::Ok);
+  EXPECT_EQ(sup.stats().breaker_trips, 0u);
+  EXPECT_EQ(sup.stats().breaker_short_circuits, 0u);
+  EXPECT_EQ(sup.stats().probes, 0u);
+  EXPECT_EQ(sup.breaker_state(ServiceId::PifBroadcast), BreakerState::Closed);
+}
+
+TEST(SvcHedge, HealthyRequestLaunchesNoBackup) {
+  auto sim = pif_host_world(3, 69);
+  Client client(*sim);
+  SuperviseOptions so;
+  so.hedge.enabled = true;
+  so.hedge.hedge_after = 100'000;  // far beyond the healthy completion
+  Supervisor sup(client, so);
+  const auto t = sup.supervise(0, PifBroadcast{Value::integer(5)});
+  AwaitOptions aw;
+  aw.policy.check_every = 1;
+  ASSERT_TRUE(sup.run_all(aw));
+  EXPECT_EQ(sup.outcome(t), SessionOutcome::Ok);
+  EXPECT_EQ(sup.stats().hedges_launched, 0u);
+  EXPECT_EQ(sup.stats().hedge_wins, 0u);
+}
+
+TEST(SvcHedge, BackupLaunchesAfterTheLatencyBudgetAndFirstTerminalWins) {
+  auto sim = pif_host_world(3, 71);
+  Client client(*sim);
+  SuperviseOptions so;
+  so.hedge.enabled = true;
+  so.hedge.hedge_after = 1;  // fires on the first pump past launch
+  so.hedge.max_hedges = 1;
+  Supervisor sup(client, so);
+  const auto t = sup.supervise(0, PifBroadcast{Value::integer(6)});
+  AwaitOptions aw;
+  aw.policy.check_every = 1;
+  ASSERT_TRUE(sup.run_all(aw));
+  // Exactly one backup launched (max_hedges caps it even though the budget
+  // keeps elapsing), the first terminal result won, and the ticket settled
+  // once — no double completion.
+  EXPECT_EQ(sup.outcome(t), SessionOutcome::Ok);
+  EXPECT_EQ(sup.result(t).value, Value::integer(6));
+  EXPECT_EQ(sup.stats().hedges_launched, 1u);
+  EXPECT_EQ(sup.stats().ok, 1u);
+  EXPECT_EQ(sup.live(), 0);
+}
+
+TEST(SvcResilience, BreakerPlusHedgeRunsAreDeterministic) {
+  const auto run_once = [] {
+    auto sim = pif_host_world(4, 73);
+    Client client(*sim);
+    SuperviseOptions so;
+    so.attempt_deadline = 1'200;
+    so.retry_budget = 4;
+    so.backoff_base = 8;
+    so.seed = 73;
+    so.breaker.enabled = true;
+    so.breaker.failure_threshold = 2;
+    so.breaker.open_cooldown = 256;
+    so.hedge.enabled = true;
+    so.hedge.hedge_after = 600;
+    Supervisor sup(client, so);
+    Rng rng(17);
+    int pumps = 0;
+    sup.set_on_pump([&] {
+      // A deterministic burst of kills early in the run.
+      if (++pumps <= 3)
+        sim->process_as<ServiceHost>(pumps % 4).crash_restart(rng);
+    });
+    std::vector<Supervisor::Ticket> ts;
+    for (int i = 0; i < 4; ++i)
+      ts.push_back(sup.supervise(i, PifBroadcast{Value::integer(500 + i)}));
+    AwaitOptions aw;
+    aw.policy.check_every = 4;
+    sup.run_all(aw);
+    std::vector<int> outcomes;
+    for (const auto t : ts)
+      outcomes.push_back(static_cast<int>(sup.outcome(t)));
+    return std::tuple(sim->step_count(), outcomes, sup.stats().resubmits,
+                      sup.stats().breaker_trips, sup.stats().probes,
+                      sup.stats().hedges_launched, sup.stats().hedge_wins);
+  };
+  EXPECT_EQ(run_once(), run_once());
 }
 
 // ---------------------------------------------------------------------------
