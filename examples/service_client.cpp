@@ -1,4 +1,4 @@
-// service_client — ONE client program, TWO execution backends.
+// service_client — ONE client program, THREE execution backends.
 //
 // The unified service API (svc::ServiceHost + svc::Client) exposes every
 // snap-stabilizing protocol through the same submit / poll / complete
@@ -6,15 +6,18 @@
 // session handle. This example writes a single client program (a PIF
 // broadcast, a queued second broadcast, and a full leader election) and
 // runs it, unchanged, against
-//   1. the deterministic discrete-event Simulator, and
+//   1. the deterministic discrete-event Simulator,
 //   2. the ThreadRuntime (one OS thread per process, codec-encoded
-//      mailboxes, genuine concurrency).
+//      mailboxes, genuine concurrency), and
+//   3. the SocketRuntime (real UDP datagrams over the loopback
+//      interface — every message crosses the kernel as a framed packet).
 //
 // Build & run:  ./examples/example_service_client
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "net/socket_runtime.hpp"
 #include "runtime/thread_runtime.hpp"
 #include "sim/simulator.hpp"
 #include "svc/client.hpp"
@@ -73,7 +76,7 @@ bool client_program(Backend& backend, const char* label) {
 }  // namespace
 
 int main() {
-  std::printf("One service-client program, two backends\n\n");
+  std::printf("One service-client program, three backends\n\n");
 
   // Backend 1: the deterministic Simulator.
   sim::Simulator world(kN, 1, 2026);
@@ -89,6 +92,18 @@ int main() {
   for (int p = 0; p < kN; ++p)
     rt.add_process(std::make_unique<svc::ServiceHost>(host_config(p)));
   if (!client_program(rt, "ThreadRuntime (one thread per process)")) return 1;
+
+  // Backend 3: the real-wire runtime — same hosts, same program, but every
+  // message is a UDP datagram through the kernel's loopback stack.
+  net::SocketRuntime srt(kN, {.seed = 2026});
+  for (int p = 0; p < kN; ++p)
+    srt.add_process(std::make_unique<svc::ServiceHost>(host_config(p)));
+  if (!client_program(srt, "SocketRuntime (UDP loopback)")) return 1;
+  srt.shutdown();
+  const auto stats = srt.wire_stats();
+  std::printf("socket runtime: %llu datagrams sent, %llu delivered\n\n",
+              static_cast<unsigned long long>(stats.datagrams_sent),
+              static_cast<unsigned long long>(stats.delivered));
 
   std::printf("same client code, same sessions, same answers.\n");
   return 0;

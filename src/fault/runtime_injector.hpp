@@ -1,25 +1,38 @@
-// runtime_injector.hpp — applies a FaultPlan to a live ThreadRuntime.
+// runtime_injector.hpp — applies a FaultPlan to a live runtime.
 //
-// The thread-runtime counterpart of fault::Injector: a dedicated injection
+// The live-runtime counterpart of fault::Injector: a dedicated injection
 // thread maps the plan's step-clock window spans onto wall time (one step =
-// `step_duration`) and applies the same effects against real concurrency —
-// crash-restart through with_process (under the node lock), channel
-// garbage/loss/duplication/partition wipes against the internally
-// synchronized mailboxes. Unlike the simulator path this is NOT replayable
-// bit-for-bit (the whole runtime is racy by design); what it preserves is
-// the fault *schedule* and the recovery contract under test: after stop()
-// the fault has ceased and fresh sessions must complete.
+// `step_duration`) and applies the same effects against real concurrency.
+// Two targets share the schedule machinery:
+//   * ThreadRuntime — crash-restart through with_process (under the node
+//     lock), channel garbage/loss/duplication/partition wipes against the
+//     internally synchronized mailboxes;
+//   * SocketRuntime — the same crash path for hosted nodes plus
+//     SIGKILL-based process crash for nodes registered as living in another
+//     OS process (set_node_pid), garbage bursts as real datagrams through
+//     inject_datagram (framed random messages and raw noise), and
+//     loss/duplication/LinkDown/partition as the runtime's socket-level
+//     per-edge filter between recv and dispatch — rates armed when a window
+//     opens, re-asserted every poll, cleared when it closes.
+// Unlike the simulator path this is NOT replayable bit-for-bit (the whole
+// runtime is racy by design); what it preserves is the fault *schedule* and
+// the recovery contract under test: after stop() the fault has ceased and
+// fresh sessions must complete.
 #ifndef SNAPSTAB_FAULT_RUNTIME_INJECTOR_HPP
 #define SNAPSTAB_FAULT_RUNTIME_INJECTOR_HPP
+
+#include <sys/types.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "fault/plan.hpp"
+#include "net/socket_runtime.hpp"
 #include "runtime/thread_runtime.hpp"
 
 namespace snapstab::fault {
@@ -35,10 +48,17 @@ class RuntimeInjector {
  public:
   RuntimeInjector(const FaultPlan& plan, runtime::ThreadRuntime& rt,
                   RuntimeInjectorOptions options = {});
+  RuntimeInjector(const FaultPlan& plan, net::SocketRuntime& srt,
+                  RuntimeInjectorOptions options = {});
   ~RuntimeInjector();  // stops and joins
 
   RuntimeInjector(const RuntimeInjector&) = delete;
   RuntimeInjector& operator=(const RuntimeInjector&) = delete;
+
+  // Socket mode, multi-process: declares that node `node` lives in OS
+  // process `pid`. A CrashRestart window targeting it delivers a real
+  // SIGKILL when it opens (once per opening). Call before start().
+  void set_node_pid(int node, ::pid_t pid);
 
   // Spawns the injection thread; the plan's step 0 is "now".
   void start();
@@ -56,6 +76,7 @@ class RuntimeInjector {
     std::uint64_t duplicates = 0;
     std::uint64_t partition_wipes = 0;
     std::uint64_t down_wipes = 0;
+    std::uint64_t process_kills = 0;  // socket mode: SIGKILLs delivered
   };
   // Stable only after stop().
   const Counters& counters() const noexcept { return counters_; }
@@ -63,13 +84,18 @@ class RuntimeInjector {
  private:
   void thread_main();
   void apply_window(const FaultWindow& w, bool opening);
+  void close_window(const FaultWindow& w);
+  void apply_window_socket(const FaultWindow& w, bool opening);
   void crash(sim::ProcessId p);
   void garbage_fill(sim::EdgeId e);
+  void garbage_datagrams(sim::EdgeId e);
 
   const FaultPlan* plan_;
-  runtime::ThreadRuntime* rt_;
+  runtime::ThreadRuntime* rt_ = nullptr;
+  net::SocketRuntime* srt_ = nullptr;
   RuntimeInjectorOptions options_;
   Rng rng_;
+  std::unordered_map<int, ::pid_t> node_pids_;
   std::thread thread_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> done_{false};

@@ -105,10 +105,12 @@ struct ExpectedCoreCount {
 };
 inline constexpr ExpectedCoreCount kExpectedCoreCounts[] = {
     {"el.", 6, 0},  {"fwd.", 11, 0},  {"idl.", 7, 1},
-    {"me.", 10, 1}, {"pif.", 9, 0},   {"reset.", 6, 0},
-    {"snap.", 7, 0}, {"sup.", 5, 0},  {"td.", 8, 1},
+    {"me.", 10, 1}, {"net.", 3, 0},   {"pif.", 9, 0},
+    {"reset.", 6, 0}, {"snap.", 7, 0}, {"sup.", 5, 0},
+    {"td.", 8, 1},
 };
-inline constexpr int kMutationPointCount = 6 + 11 + 7 + 10 + 9 + 6 + 7 + 5 + 8;
+inline constexpr int kMutationPointCount =
+    6 + 11 + 7 + 10 + 3 + 9 + 6 + 7 + 5 + 8;
 inline constexpr int kEquivalentMutantCount = 3;
 
 // --- the process-global active set -----------------------------------------

@@ -21,6 +21,11 @@
 //   * ThreadRuntime: submissions lock the target node; run_until maps onto
 //     ThreadRuntime::run (one-shot — a ThreadRuntime instance awaits once)
 //     with the same completion predicate, polled by the supervisor.
+//   * SocketRuntime: the real-wire backend (UDP loopback or multi-process;
+//     see net/socket_runtime.hpp). Submissions lock the target node exactly
+//     like the thread runtime; await_all maps onto SocketRuntime::run, which
+//     is NOT one-shot — the node threads keep serving between awaits, so a
+//     timed-out batch can simply be awaited again with more budget.
 #ifndef SNAPSTAB_SVC_CLIENT_HPP
 #define SNAPSTAB_SVC_CLIENT_HPP
 
@@ -29,6 +34,7 @@
 #include <initializer_list>
 #include <vector>
 
+#include "net/socket_runtime.hpp"
 #include "runtime/thread_runtime.hpp"
 #include "sim/simulator.hpp"
 #include "svc/host.hpp"
@@ -81,12 +87,29 @@ constexpr const char* await_result_name(AwaitResult r) noexcept {
   return "?";
 }
 
+// Which execution backend a Client is bound to.
+enum class BackendKind : std::uint8_t { Simulator, Thread, Socket };
+
+inline constexpr int kBackendKindCount = 3;
+
+constexpr const char* backend_kind_name(BackendKind b) noexcept {
+  static_assert(kBackendKindCount == static_cast<int>(BackendKind::Socket) + 1,
+                "new BackendKind: update kBackendKindCount and every switch");
+  switch (b) {
+    case BackendKind::Simulator: return "simulator";
+    case BackendKind::Thread: return "thread";
+    case BackendKind::Socket: return "socket";
+  }
+  return "?";
+}
+
 class Client {
  public:
   using CompletionFn = ServiceHost::CompletionFn;
 
   explicit Client(sim::Simulator& sim) : sim_(&sim) {}
   explicit Client(runtime::ThreadRuntime& rt) : rt_(&rt) {}
+  explicit Client(net::SocketRuntime& srt) : srt_(&srt) {}
 
   // Typed submit: any descriptor from svc/service.hpp.
   template <typename D>
@@ -128,16 +151,23 @@ class Client {
 
   sim::Simulator* simulator() noexcept { return sim_; }
   runtime::ThreadRuntime* thread_runtime() noexcept { return rt_; }
+  net::SocketRuntime* socket_runtime() noexcept { return srt_; }
+  BackendKind backend() const noexcept {
+    if (sim_ != nullptr) return BackendKind::Simulator;
+    if (rt_ != nullptr) return BackendKind::Thread;
+    return BackendKind::Socket;
+  }
 
  private:
   // Runs `f` on the ServiceHost at `p`: direct for the simulator backend,
-  // under the node lock for the thread runtime.
+  // under the node lock for the thread and socket runtimes.
   template <typename F>
   auto with_host(sim::ProcessId p, F&& f);
   bool poll_all(const std::vector<Session>& sessions);
 
   sim::Simulator* sim_ = nullptr;
   runtime::ThreadRuntime* rt_ = nullptr;
+  net::SocketRuntime* srt_ = nullptr;
 };
 
 }  // namespace snapstab::svc

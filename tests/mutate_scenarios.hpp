@@ -33,6 +33,7 @@
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "golden_scenarios.hpp"
+#include "net/wire.hpp"
 #include "sim/fuzz.hpp"
 #include "sim/simulator.hpp"
 #include "svc/client.hpp"
@@ -779,6 +780,76 @@ inline Outcome run_spec_sup_hedge() {
 }
 
 // ---------------------------------------------------------------------------
+// Wire-frame validation: forge datagrams around one well-formed frame and
+// require every rejection to fire. Each MUTATION_POINT in decode_frame
+// (version gate, length guard, checksum check) has a forged input here
+// that only the live check rejects — the mutant accepts it as Ok, which
+// both flips the folded result code and breaks the explicit equals.
+// ---------------------------------------------------------------------------
+
+inline Outcome run_spec_net_frame() {
+  Outcome out;
+  Check ck(out);
+  StringPool pool;
+  ScopedStringPool scope(pool);
+  const Message m =
+      Message::pif(Value::text("net-frame"), Value::integer(3), 1, 2);
+  const std::vector<std::uint8_t> good = net::encode_frame(5, m, pool);
+
+  const auto result_of = [&](const std::vector<std::uint8_t>& frame) {
+    return static_cast<std::int64_t>(
+        net::decode_frame(frame.data(), frame.size(), pool).result);
+  };
+  const auto want = [](net::WireFrameResult r) {
+    return static_cast<std::int64_t>(r);
+  };
+
+  const net::DecodedFrame ok = net::decode_frame(good.data(), good.size(), pool);
+  ck.equals(static_cast<std::int64_t>(ok.result),
+            want(net::WireFrameResult::Ok), "net.frame: well-formed accepted");
+  ck.equals(ok.edge, 5, "net.frame: edge survives the round trip");
+  ck.require(ok.message.kind == m.kind && ok.message.b == m.b &&
+                 ok.message.f == m.f && ok.message.state == m.state,
+             "net.frame: message survives the round trip");
+
+  auto forged = good;
+  forged[13] ^= 0xFF;  // corrupt the stored checksum
+  ck.equals(result_of(forged), want(net::WireFrameResult::BadChecksum),
+            "net.frame: corrupted checksum field rejected");
+
+  forged = good;
+  forged.back() ^= 0x01;  // corrupt one payload byte in flight
+  ck.equals(result_of(forged), want(net::WireFrameResult::BadChecksum),
+            "net.frame: corrupted payload byte rejected");
+
+  forged = good;
+  forged[4] = net::kWireVersion + 1;  // incompatible peer, checksum valid
+  net::patch_checksum(forged);
+  ck.equals(result_of(forged), want(net::WireFrameResult::BadVersion),
+            "net.frame: foreign frame version rejected");
+
+  // Trailing garbage: payload_len disagrees with the datagram size but the
+  // checksum (over the declared payload) still verifies — only the exact
+  // length guard catches it.
+  forged = good;
+  forged.push_back(0xEE);
+  ck.equals(result_of(forged), want(net::WireFrameResult::BadLength),
+            "net.frame: trailing garbage rejected");
+
+  forged.assign(good.begin(), good.begin() + net::kWireHeaderSize - 1);
+  ck.equals(result_of(forged), want(net::WireFrameResult::TooShort),
+            "net.frame: truncated header rejected");
+
+  forged = good;
+  forged[0] ^= 0xFF;
+  ck.equals(result_of(forged), want(net::WireFrameResult::BadMagic),
+            "net.frame: foreign magic rejected");
+
+  ck.finish();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // Golden stage: replay the pinned traces and compare bit for bit.
 // ---------------------------------------------------------------------------
 
@@ -984,6 +1055,7 @@ inline const std::vector<KillConfig>& kill_configs() {
       {"spec.sup.breaker", "spec", run_spec_sup_breaker},
       {"spec.sup.probe", "spec", run_spec_sup_probe},
       {"spec.sup.hedge", "spec", run_spec_sup_hedge},
+      {"spec.net.frame", "spec", run_spec_net_frame},
       {"golden.pif_rand", "golden", run_golden_0},
       {"golden.pif_loss", "golden", run_golden_1},
       {"golden.pif_rr", "golden", run_golden_2},
